@@ -1,0 +1,80 @@
+// Command softwatt runs one benchmark on the simulated machine and prints
+// its power/energy characterization: the run summary, the mode breakdown,
+// the kernel-service table, and (optionally) the execution/power time
+// profile.
+//
+// Usage:
+//
+//	softwatt [-core mipsy|mxs|mxs1] [-disk conventional|idle|standby2|standby4]
+//	         [-profile] [-services] [-log file] <benchmark>
+//
+// Benchmarks: compress jess db javac mtrt jack
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"softwatt"
+	"softwatt/internal/trace"
+)
+
+func main() {
+	coreKind := flag.String("core", "mxs", "CPU timing model: mipsy, mxs, mxs1")
+	diskPol := flag.String("disk", "conventional", "disk policy: conventional, idle, standby2, standby4")
+	profile := flag.Bool("profile", false, "print the execution/power time profile (paper Figs. 3/4)")
+	services := flag.Bool("services", true, "print the kernel service table (paper Table 4)")
+	logFile := flag.String("log", "", "write the sampled statistics log to this file")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: softwatt [flags] <benchmark>\nbenchmarks: %v\n", softwatt.Benchmarks)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	bench := flag.Arg(0)
+
+	res, err := softwatt.Run(bench, softwatt.Options{Core: *coreKind, DiskPolicy: *diskPol})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	est := softwatt.NewEstimator()
+
+	fmt.Println(est.Summarize(res))
+	fmt.Println()
+	ms := est.ModeBreakdown(res)
+	fmt.Printf("Mode breakdown (%% cycles / %% energy):\n")
+	for m := softwatt.Mode(0); m < softwatt.NumModes; m++ {
+		fmt.Printf("  %-7s %6.2f%% / %6.2f%%\n", m, ms.CyclesPct[m], ms.EnergyPct[m])
+	}
+	fmt.Printf("Peak window power: %.2f W\n", est.PeakPowerW(res))
+
+	if *services {
+		fmt.Println()
+		fmt.Print(est.RenderTable4([]*softwatt.RunResult{res}))
+	}
+	if *profile {
+		fmt.Println()
+		fmt.Print(est.RenderProfile(res, "Execution and power profile"))
+	}
+	if *logFile != "" {
+		f, err := os.Create(*logFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := trace.WriteLog(f, res.Samples); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d sample windows to %s\n", len(res.Samples), *logFile)
+	}
+}

@@ -1,0 +1,31 @@
+// Command swsweep reproduces the paper's Figure 9 disk power-management
+// study: it runs each benchmark under the four §4 disk configurations
+// (conventional; IDLE after request; IDLE+STANDBY with 2 s and 4 s scaled
+// spindown thresholds) and prints the per-configuration disk energy and
+// workload idle-cycle counts.
+//
+// Usage:
+//
+//	swsweep [benchmark ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"softwatt"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: swsweep [benchmark ...]\nbenchmarks: %v\n", softwatt.Benchmarks)
+	}
+	flag.Parse()
+	rows, err := softwatt.SweepDiskConfigs(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(softwatt.RenderFig9(rows))
+}

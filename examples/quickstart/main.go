@@ -1,0 +1,39 @@
+// Quickstart: boot the simulated machine, run one SpecJVM98-style
+// benchmark, and print its complete-system power characterization.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softwatt"
+)
+
+func main() {
+	fmt.Printf("SoftWatt power model validation: max CPU power %.1f W (paper: 25.3 W vs 30 W datasheet)\n\n",
+		softwatt.ValidateMaxPower())
+
+	// Run the compress benchmark on the out-of-order MXS core with the
+	// conventional (always-spinning) disk.
+	res, err := softwatt.Run("compress", softwatt.Options{Core: "mxs"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	est := softwatt.NewEstimator()
+	fmt.Println(est.Summarize(res))
+	fmt.Println()
+
+	// Where did the cycles and the energy go? (paper Table 2)
+	ms := est.ModeBreakdown(res)
+	fmt.Println("Software mode breakdown:")
+	for m := softwatt.Mode(0); m < softwatt.NumModes; m++ {
+		fmt.Printf("  %-7s %6.2f%% of cycles, %6.2f%% of energy\n",
+			m, ms.CyclesPct[m], ms.EnergyPct[m])
+	}
+	fmt.Println()
+
+	// Which hardware components consume the power? (paper Figure 5)
+	fmt.Print(est.RenderBudget([]*softwatt.RunResult{res},
+		"System power budget"))
+}

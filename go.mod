@@ -1,0 +1,3 @@
+module softwatt
+
+go 1.22

@@ -1,0 +1,219 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"softwatt/internal/isa"
+)
+
+func TestTLBProbeAndReadback(t *testing.T) {
+	c, _ := run(t, `
+        .org 0x80020000
+        # write TLB entry 5: vpn 0x123, pfn 0x456, V|D
+        li   k0, 0x00123000 + 9    # VPN | ASID 9
+        mtc0 k0, $entryhi
+        li   k1, 0x00456000 + 6    # V|D
+        mtc0 k1, $entrylo
+        li   k0, 5
+        mtc0 k0, $index
+        tlbwi
+        # probe with the same ASID: must find index 5
+        li   k0, 0x00123000 + 9
+        mtc0 k0, $entryhi
+        tlbp
+        mfc0 s0, $index            # 5
+        # probe with a different ASID: must miss (bit 31 set)
+        li   k0, 0x00123000 + 7
+        mtc0 k0, $entryhi
+        tlbp
+        mfc0 s1, $index
+        srl  s1, s1, 31            # 1 on miss
+        # read the entry back
+        li   k0, 5
+        mtc0 k0, $index
+        tlbr
+        mfc0 s2, $entryhi
+        mfc0 s3, $entrylo
+        break
+`, 200)
+	if c.GPR[isa.RegS0] != 5 {
+		t.Fatalf("tlbp index = %d", c.GPR[isa.RegS0])
+	}
+	if c.GPR[isa.RegS1] != 1 {
+		t.Fatal("tlbp matched across ASIDs without the G bit")
+	}
+	if c.GPR[isa.RegS2] != 0x00123009 {
+		t.Fatalf("tlbr entryhi = %#x", c.GPR[isa.RegS2])
+	}
+	if c.GPR[isa.RegS3] != 0x00456006 {
+		t.Fatalf("tlbr entrylo = %#x", c.GPR[isa.RegS3])
+	}
+}
+
+func TestGlobalTLBEntryIgnoresASID(t *testing.T) {
+	c, _ := run(t, `
+        .org 0x80020000
+        li   k0, 0x00321000 + 1
+        mtc0 k0, $entryhi
+        li   k1, 0x00154000 + 7    # V|D|G
+        mtc0 k1, $entrylo
+        li   k0, 3
+        mtc0 k0, $index
+        tlbwi
+        # switch ASID and access the page: global entry must hit
+        li   k0, 44
+        mtc0 k0, $entryhi
+        li   t0, 0x00321010
+        li   t1, 0xfeed
+        sw   t1, 0(t0)
+        lw   s0, 0(t0)
+        break
+`, 200)
+	if c.GPR[isa.RegS0] != 0xfeed {
+		t.Fatalf("global entry access failed: %#x", c.GPR[isa.RegS0])
+	}
+}
+
+func TestDivideByZeroDoesNotTrap(t *testing.T) {
+	// M32 defines div-by-zero results rather than trapping (like MIPS's
+	// unpredictable-but-silent behaviour, made deterministic).
+	c, _ := run(t, `
+        .org 0x80020000
+        li   t0, 42
+        li   t1, 0
+        div  s0, t0, t1            # -1
+        rem  s1, t0, t1            # 42
+        divu s2, t0, t1            # 0xffffffff
+        remu s3, t0, t1            # 42
+        break
+`, 100)
+	if c.GPR[isa.RegS0] != 0xFFFFFFFF || c.GPR[isa.RegS1] != 42 ||
+		c.GPR[isa.RegS2] != 0xFFFFFFFF || c.GPR[isa.RegS3] != 42 {
+		t.Fatalf("div-by-zero results: %x %x %x %x",
+			c.GPR[isa.RegS0], c.GPR[isa.RegS1], c.GPR[isa.RegS2], c.GPR[isa.RegS3])
+	}
+}
+
+func TestUnalignedAccessFaults(t *testing.T) {
+	src := `
+        .org 0x80000080
+        mfc0 k0, $cause
+        break
+        .org 0x80020000
+        li   t0, 0x80030001
+        lw   t1, 0(t0)             # unaligned: AdEL
+        nop
+`
+	p, _ := isa.Assemble(src)
+	bus := newRAM()
+	bus.load(p)
+	c := New(bus)
+	for i := 0; i < 50; i++ {
+		info := c.Step(uint64(i))
+		if info.TookException && info.ExcCode == isa.ExcBreak {
+			code := c.GPR[isa.RegK0] >> isa.CauseExcShift & 0x1F
+			if code != isa.ExcAdEL {
+				t.Fatalf("code = %d, want AdEL", code)
+			}
+			return
+		}
+	}
+	t.Fatal("no fault")
+}
+
+func TestShiftVariantsProperty(t *testing.T) {
+	// Architectural shift semantics vs Go's, via direct programs.
+	f := func(v uint32, sh uint8) bool {
+		sh &= 31
+		src := `
+        .org 0x80020000
+        la   t9, vals
+        lw   t0, 0(t9)
+        lw   t1, 4(t9)
+        sllv s0, t0, t1
+        srlv s1, t0, t1
+        srav s2, t0, t1
+        break
+        .align 4
+vals:   .word 0, 0
+`
+		p, err := isa.Assemble(src)
+		if err != nil {
+			return false
+		}
+		bus := newRAM()
+		bus.load(p)
+		valAddr := p.Symbols["vals"] - isa.KSEG0Base
+		bus.WritePhys(valAddr, 4, uint64(v))
+		bus.WritePhys(valAddr+4, 4, uint64(sh))
+		c := New(bus)
+		for i := 0; i < 100; i++ {
+			info := c.Step(uint64(i))
+			if info.TookException && info.ExcCode == isa.ExcBreak {
+				return c.GPR[isa.RegS0] == v<<sh &&
+					c.GPR[isa.RegS1] == v>>sh &&
+					c.GPR[isa.RegS2] == uint32(int32(v)>>sh)
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassembleTotal(t *testing.T) {
+	// Disassemble must never panic on arbitrary words.
+	f := func(raw uint32, pc uint32) bool {
+		s := isa.Disassemble(isa.Decode(raw), pc&^3)
+		return s != ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestASIDIsolationBetweenProcesses(t *testing.T) {
+	// Two TLB entries with the same VPN but different ASIDs map to
+	// different frames; switching EntryHi's ASID switches the mapping.
+	c, _ := run(t, `
+        .org 0x80020000
+        # ASID 1 -> frame 0x100
+        li   k0, 0x00010000 + 1
+        mtc0 k0, $entryhi
+        li   k1, 0x00100000 + 6
+        mtc0 k1, $entrylo
+        li   k0, 1
+        mtc0 k0, $index
+        tlbwi
+        # ASID 2 -> frame 0x200
+        li   k0, 0x00010000 + 2
+        mtc0 k0, $entryhi
+        li   k1, 0x00200000 + 6
+        mtc0 k1, $entrylo
+        li   k0, 2
+        mtc0 k0, $index
+        tlbwi
+        # store 0xAA via ASID 1, 0xBB via ASID 2, read both back
+        li   k0, 1
+        mtc0 k0, $entryhi
+        li   t0, 0x00010000
+        li   t1, 0xAA
+        sw   t1, 0(t0)
+        li   k0, 2
+        mtc0 k0, $entryhi
+        li   t1, 0xBB
+        sw   t1, 0(t0)
+        li   k0, 1
+        mtc0 k0, $entryhi
+        lw   s0, 0(t0)             # 0xAA
+        li   k0, 2
+        mtc0 k0, $entryhi
+        lw   s1, 0(t0)             # 0xBB
+        break
+`, 300)
+	if c.GPR[isa.RegS0] != 0xAA || c.GPR[isa.RegS1] != 0xBB {
+		t.Fatalf("ASID isolation broken: %x %x", c.GPR[isa.RegS0], c.GPR[isa.RegS1])
+	}
+}

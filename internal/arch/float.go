@@ -1,0 +1,13 @@
+package arch
+
+import "math"
+
+// The M32 FPR file holds 64-bit values. MTC1/MFC1 move raw 32-bit integer
+// bit patterns (zero-extended) in and out of an FPR; CVT.D.W / CVT.W.D
+// convert between that raw-bits representation and a true double. Software
+// therefore loads an integer with MTC1 and converts it with CVT.D.W before
+// arithmetic, exactly as on MIPS.
+
+func f64bits(f float64) uint64     { return math.Float64bits(f) }
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }
+func fsqrt(f float64) float64      { return math.Sqrt(f) }

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"softwatt/internal/power"
+	"softwatt/internal/trace"
+)
+
+// synthRun builds a synthetic RunResult with controlled activity.
+func synthRun(name string) *RunResult {
+	r := &RunResult{Benchmark: name, Core: "mxs", ClockHz: 200e6}
+	mk := func(cycles, insts, alu, il1, dl1, mem uint64) trace.Bucket {
+		var b trace.Bucket
+		b.Cycles, b.Insts = cycles, insts
+		b.Units[trace.UnitALU] = alu
+		b.Units[trace.UnitL1I] = il1
+		b.Units[trace.UnitL1D] = dl1
+		b.Units[trace.UnitMem] = mem
+		return b
+	}
+	r.ModeTotals[trace.ModeUser] = mk(700_000, 1_400_000, 900_000, 1_400_000, 400_000, 100)
+	r.ModeTotals[trace.ModeKernel] = mk(200_000, 180_000, 100_000, 220_000, 40_000, 50)
+	r.ModeTotals[trace.ModeSync] = mk(5_000, 7_000, 5_000, 8_000, 1_000, 0)
+	r.ModeTotals[trace.ModeIdle] = mk(95_000, 70_000, 25_000, 70_000, 33_000, 10)
+	r.TotalCycles = 1_000_000
+	r.Services[trace.SvcUTLB] = trace.ServiceStats{
+		Invocations: 5000,
+		Total:       mk(100_000, 50_000, 20_000, 60_000, 10_000, 10),
+	}
+	r.Services[trace.SvcRead] = trace.ServiceStats{
+		Invocations: 30,
+		Total:       mk(60_000, 70_000, 40_000, 90_000, 25_000, 20),
+	}
+	r.DiskEnergyJ = 0.016 // 3.2 W for 5 ms
+	// Two sample windows for profile tests.
+	var s1, s2 trace.Sample
+	s1.Start, s1.End = 0, 500_000
+	s1.Mode[trace.ModeIdle] = mk(400_000, 200_000, 50_000, 200_000, 66_000, 80)
+	s1.Mode[trace.ModeUser] = mk(100_000, 150_000, 90_000, 150_000, 40_000, 20)
+	s2.Start, s2.End = 500_000, 1_000_000
+	s2.Mode[trace.ModeUser] = mk(500_000, 1_100_000, 700_000, 1_100_000, 330_000, 60)
+	r.Samples = []trace.Sample{s1, s2}
+	return r
+}
+
+func est() *Estimator { return NewEstimator(power.Default()) }
+
+func TestModeBreakdownSumsTo100(t *testing.T) {
+	ms := est().ModeBreakdown(synthRun("x"))
+	var c, e float64
+	for m := 0; m < int(trace.NumModes); m++ {
+		c += ms.CyclesPct[m]
+		e += ms.EnergyPct[m]
+	}
+	if math.Abs(c-100) > 1e-9 || math.Abs(e-100) > 1e-9 {
+		t.Fatalf("cycles %.4f energy %.4f", c, e)
+	}
+	// User dominates both; its energy share exceeds its cycle share (the
+	// paper's Table 2 observation), because user mode is the most active.
+	u := trace.ModeUser
+	if ms.CyclesPct[u] < 50 || ms.EnergyPct[u] <= ms.CyclesPct[u] {
+		t.Fatalf("user: cycles %.1f energy %.1f", ms.CyclesPct[u], ms.EnergyPct[u])
+	}
+	// Idle consumes a smaller energy fraction than cycle fraction.
+	i := trace.ModeIdle
+	if ms.EnergyPct[i] >= ms.CyclesPct[i] {
+		t.Fatalf("idle: cycles %.1f energy %.1f", ms.CyclesPct[i], ms.EnergyPct[i])
+	}
+}
+
+func TestCacheRefsPerCycle(t *testing.T) {
+	cr := est().CacheRefsPerCycle(synthRun("x"))
+	if math.Abs(cr.IL1[trace.ModeUser]-2.0) > 1e-9 {
+		t.Fatalf("user iL1 %.3f", cr.IL1[trace.ModeUser])
+	}
+	if cr.IL1[trace.ModeKernel] >= cr.IL1[trace.ModeUser] {
+		t.Fatal("kernel fetch rate must be below user")
+	}
+}
+
+func TestServiceTableOrderingAndShares(t *testing.T) {
+	rows := est().ServiceTable(synthRun("x"))
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Service != trace.SvcUTLB {
+		t.Fatalf("first row %v", rows[0].Service)
+	}
+	if rows[0].CyclesPct < rows[1].CyclesPct {
+		t.Fatal("not sorted by cycles")
+	}
+	// The paper's observation: utlb's energy share is proportionately
+	// smaller than its cycle share (it exercises few units).
+	if rows[0].EnergyPct >= rows[0].CyclesPct {
+		t.Fatalf("utlb energy %.1f >= cycles %.1f", rows[0].EnergyPct, rows[0].CyclesPct)
+	}
+}
+
+func TestServiceVariation(t *testing.T) {
+	r := synthRun("x")
+	for i := 0; i < 100; i++ {
+		r.Services[trace.SvcUTLB].EnergyPerInv.Add(1e-7)
+		r.Services[trace.SvcRead].EnergyPerInv.Add(1e-5 * (1 + 0.2*float64(i%5)))
+	}
+	rows := est().ServiceVariation([]*RunResult{r}, []trace.Svc{trace.SvcUTLB, trace.SvcRead})
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if rows[0].CoeffDevPct != 0 {
+		t.Fatalf("constant utlb deviation %.3f", rows[0].CoeffDevPct)
+	}
+	if rows[1].CoeffDevPct < 5 {
+		t.Fatalf("read deviation %.3f too small", rows[1].CoeffDevPct)
+	}
+}
+
+func TestPowerBudgetIncludesDisk(t *testing.T) {
+	r := synthRun("x")
+	b := est().PowerBudget([]*RunResult{r})
+	if b.DiskW <= 0 || b.TotalW <= b.DiskW {
+		t.Fatalf("budget %+v", b)
+	}
+	// Disk average power: 0.016 J over 5 ms = 3.2 W.
+	if math.Abs(b.DiskW-3.2) > 0.01 {
+		t.Fatalf("disk W = %.3f", b.DiskW)
+	}
+	var pct float64
+	for _, c := range []string{"datapath", "il1", "dl1", "l2", "clock", "memory", "disk"} {
+		pct += b.Pct(c)
+	}
+	if math.Abs(pct-100) > 1e-6 {
+		t.Fatalf("shares sum %.4f", pct)
+	}
+}
+
+func TestModeAveragePowerOrdering(t *testing.T) {
+	mp := est().ModeAveragePower([]*RunResult{synthRun("x")})
+	if mp[trace.ModeUser].Total <= mp[trace.ModeIdle].Total {
+		t.Fatalf("user %.2f <= idle %.2f", mp[trace.ModeUser].Total, mp[trace.ModeIdle].Total)
+	}
+	for _, sp := range mp {
+		sum := sp.Datapath + sp.L1I + sp.L1D + sp.L2 + sp.Clock + sp.Memory
+		if math.Abs(sum-sp.Total) > 1e-9*(1+sp.Total) {
+			t.Fatalf("%s: parts %.4f != total %.4f", sp.Label, sum, sp.Total)
+		}
+	}
+}
+
+func TestProfileTimeSeries(t *testing.T) {
+	pts := est().Profile(synthRun("x"))
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	if pts[0].TimeSec >= pts[1].TimeSec {
+		t.Fatal("time not increasing")
+	}
+	// The first window is idle-dominated, the second user-dominated; power
+	// must rise.
+	if pts[0].PowerW >= pts[1].PowerW {
+		t.Fatalf("power did not rise: %.2f -> %.2f", pts[0].PowerW, pts[1].PowerW)
+	}
+	if pts[0].ModePct[trace.ModeIdle] < 50 {
+		t.Fatalf("window 1 idle share %.1f", pts[0].ModePct[trace.ModeIdle])
+	}
+	if pk := est().PeakPowerW(synthRun("x")); math.Abs(pk-pts[1].PowerW) > 1e-9 {
+		t.Fatalf("peak %.3f", pk)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := est().Summarize(synthRun("x"))
+	if s.Cycles != 1_000_000 {
+		t.Fatalf("cycles %d", s.Cycles)
+	}
+	if s.TimeSec != 0.005 {
+		t.Fatalf("time %v", s.TimeSec)
+	}
+	if s.TotalJ <= s.DiskJ || s.AvgPowerW <= 0 || s.EDP <= 0 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.IPC <= 0 || s.KernelPct <= 0 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"softwatt/internal/trace"
+)
+
+// Fig8Services are the four kernel services of the paper's Figure 8.
+var Fig8Services = []trace.Svc{
+	trace.SvcUTLB, trace.SvcRead, trace.SvcDemandZero, trace.SvcCacheFlush,
+}
+
+// Table5Services are the services of the paper's Table 5.
+var Table5Services = []trace.Svc{
+	trace.SvcUTLB, trace.SvcDemandZero, trace.SvcCacheFlush,
+	trace.SvcRead, trace.SvcWrite, trace.SvcOpen,
+}
+
+// RenderTable2 renders the Table 2 analogue for a set of runs.
+func (e *Estimator) RenderTable2(runs []*RunResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Percentage Breakdown of Energy and Cycles\n")
+	fmt.Fprintf(&b, "%-10s %16s %16s %16s %16s\n", "Benchmark",
+		"User", "Kernel Inst.", "Kernel Sync.", "Idle")
+	fmt.Fprintf(&b, "%-10s %7s %8s %7s %8s %7s %8s %7s %8s\n", "",
+		"Cycles", "Energy", "Cycles", "Energy", "Cycles", "Energy", "Cycles", "Energy")
+	for _, r := range runs {
+		ms := e.ModeBreakdown(r)
+		fmt.Fprintf(&b, "%-10s %7.2f %8.2f %7.2f %8.2f %7.2f %8.2f %7.2f %8.2f\n",
+			r.Benchmark,
+			ms.CyclesPct[trace.ModeUser], ms.EnergyPct[trace.ModeUser],
+			ms.CyclesPct[trace.ModeKernel], ms.EnergyPct[trace.ModeKernel],
+			ms.CyclesPct[trace.ModeSync], ms.EnergyPct[trace.ModeSync],
+			ms.CyclesPct[trace.ModeIdle], ms.EnergyPct[trace.ModeIdle])
+	}
+	return b.String()
+}
+
+// RenderTable3 renders the Table 3 analogue.
+func (e *Estimator) RenderTable3(runs []*RunResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Cache References Per Cycle\n")
+	fmt.Fprintf(&b, "%-10s %17s %17s %17s %17s\n", "Benchmark",
+		"User", "Kernel Inst.", "Kernel Sync.", "Idle")
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s %8s %8s %8s %8s\n", "",
+		"iL1Ref", "dL1Ref", "iL1Ref", "dL1Ref", "iL1Ref", "dL1Ref", "iL1Ref", "dL1Ref")
+	for _, r := range runs {
+		cr := e.CacheRefsPerCycle(r)
+		fmt.Fprintf(&b, "%-10s %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f\n",
+			r.Benchmark,
+			cr.IL1[trace.ModeUser], cr.DL1[trace.ModeUser],
+			cr.IL1[trace.ModeKernel], cr.DL1[trace.ModeKernel],
+			cr.IL1[trace.ModeSync], cr.DL1[trace.ModeSync],
+			cr.IL1[trace.ModeIdle], cr.DL1[trace.ModeIdle])
+	}
+	return b.String()
+}
+
+// RenderTable4 renders the Table 4 analogue.
+func (e *Estimator) RenderTable4(runs []*RunResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: Breakdown of Kernel Computation by Service - Cycles vs Energy\n")
+	for _, r := range runs {
+		fmt.Fprintf(&b, "%s:\n", r.Benchmark)
+		fmt.Fprintf(&b, "  %-12s %10s %10s %10s\n", "Service", "Num", "%Cycles", "%Energy")
+		for _, row := range e.ServiceTable(r) {
+			fmt.Fprintf(&b, "  %-12s %10d %10.3f %10.3f\n",
+				row.Service, row.Invocations, row.CyclesPct, row.EnergyPct)
+		}
+	}
+	return b.String()
+}
+
+// RenderTable5 renders the Table 5 analogue.
+func (e *Estimator) RenderTable5(runs []*RunResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: Variation in Behavior of Operating System Services\n")
+	fmt.Fprintf(&b, "%-12s %14s %22s %10s\n", "Service",
+		"Mean E/inv (J)", "Coeff of Deviation (%)", "Invocs")
+	for _, row := range e.ServiceVariation(runs, Table5Services) {
+		fmt.Fprintf(&b, "%-12s %14.4e %22.4f %10d\n",
+			row.Service, row.MeanEnergyJ, row.CoeffDevPct, row.Invocations)
+	}
+	return b.String()
+}
+
+// RenderBudget renders the Figure 5/7 analogue.
+func (e *Estimator) RenderBudget(runs []*RunResult, title string) string {
+	b := e.PowerBudget(runs)
+	var s strings.Builder
+	fmt.Fprintf(&s, "%s (average power, all benchmarks)\n", title)
+	rows := []struct {
+		name string
+		w    float64
+	}{
+		{"Datapath", b.DatapathW}, {"L1 D-Cache", b.L1DW}, {"L2 Cache", b.L2W},
+		{"L1 I-Cache", b.L1IW}, {"Clock", b.ClockW}, {"Memory", b.MemoryW},
+		{"Disk", b.DiskW},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&s, "  %-12s %6.2f W  %5.1f%%\n", r.name, r.w, 100*r.w/b.TotalW)
+	}
+	fmt.Fprintf(&s, "  %-12s %6.2f W\n", "Total", b.TotalW)
+	return s.String()
+}
+
+// RenderFig6 renders the Figure 6 analogue.
+func (e *Estimator) RenderFig6(runs []*RunResult) string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "Figure 6: Average Power per Mode (W)\n")
+	fmt.Fprintf(&s, "%-8s %9s %7s %7s %7s %7s %7s %8s\n", "Mode",
+		"Datapath", "L1I", "L1D", "L2", "Clock", "Memory", "Total")
+	for _, sp := range e.ModeAveragePower(runs) {
+		fmt.Fprintf(&s, "%-8s %9.2f %7.2f %7.2f %7.2f %7.2f %7.2f %8.2f\n",
+			sp.Label, sp.Datapath, sp.L1I, sp.L1D, sp.L2, sp.Clock, sp.Memory, sp.Total)
+	}
+	return s.String()
+}
+
+// RenderFig8 renders the Figure 8 analogue.
+func (e *Estimator) RenderFig8(runs []*RunResult) string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "Figure 8: Average Power of Operating System Services (W)\n")
+	fmt.Fprintf(&s, "%-12s %9s %7s %7s %7s %7s %8s\n", "Service",
+		"Datapath", "L1I", "L1D", "L2", "Clock", "Total")
+	for _, sp := range e.ServiceAveragePower(runs, Fig8Services) {
+		fmt.Fprintf(&s, "%-12s %9.2f %7.2f %7.2f %7.2f %7.2f %8.2f\n",
+			sp.Label, sp.Datapath, sp.L1I, sp.L1D, sp.L2, sp.Clock, sp.Total)
+	}
+	return s.String()
+}
+
+// RenderProfile renders the Figure 3/4 analogue time series.
+func (e *Estimator) RenderProfile(r *RunResult, title string) string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "%s (%s on %s)\n", title, r.Benchmark, r.Core)
+	fmt.Fprintf(&s, "%10s %7s %7s %7s %7s %9s %9s\n",
+		"t(ms)", "user%", "kern%", "sync%", "idle%", "P(W)", "Pmem(W)")
+	pts := e.Profile(r)
+	// Thin to at most 40 lines for readability.
+	step := 1
+	if len(pts) > 40 {
+		step = len(pts) / 40
+	}
+	for i := 0; i < len(pts); i += step {
+		p := pts[i]
+		fmt.Fprintf(&s, "%10.3f %7.1f %7.1f %7.2f %7.1f %9.2f %9.2f\n",
+			p.TimeSec*1e3,
+			p.ModePct[trace.ModeUser], p.ModePct[trace.ModeKernel],
+			p.ModePct[trace.ModeSync], p.ModePct[trace.ModeIdle],
+			p.PowerW, p.MemPowerW)
+	}
+	return s.String()
+}
+
+// Fig9Row is one benchmark × disk-configuration cell of Figure 9.
+type Fig9Row struct {
+	Benchmark  string
+	Policy     string
+	DiskJ      float64
+	IdleCycles uint64
+	Spinups    uint64
+	Spindowns  uint64
+	Cycles     uint64
+}
+
+// RenderFig9 renders the Figure 9 analogue from sweep rows.
+func RenderFig9(rows []Fig9Row) string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "Figure 9: Energy-Performance Tradeoffs for the Disk Configurations\n")
+	fmt.Fprintf(&s, "%-10s %-14s %12s %14s %8s %9s %12s\n",
+		"Benchmark", "Config", "Disk E (mJ)", "Idle cycles", "Spinups", "Spindowns", "Total cyc")
+	for _, r := range rows {
+		fmt.Fprintf(&s, "%-10s %-14s %12.3f %14d %8d %9d %12d\n",
+			r.Benchmark, r.Policy, r.DiskJ*1e3, r.IdleCycles, r.Spinups, r.Spindowns, r.Cycles)
+	}
+	return s.String()
+}

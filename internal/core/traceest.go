@@ -1,0 +1,111 @@
+package core
+
+import "softwatt/internal/trace"
+
+// Trace-driven kernel energy estimation — the paper's §3.3/§5 proposal:
+// because the per-invocation energy of kernel services is fairly constant
+// across applications (Table 5), the kernel's energy for a new workload can
+// be estimated from nothing more than a profile of service invocation
+// counts (obtainable with prof/truss-style tools) and per-service mean
+// energies calibrated once, "without actually performing a detailed
+// simulation ... with an error margin of about 10%".
+
+// TraceEstimate is the outcome of estimating one run's kernel energy from
+// invocation counts alone.
+type TraceEstimate struct {
+	Benchmark string
+	EstimateJ float64 // Σ services: calibrated mean E/invocation × count
+	ActualJ   float64 // detailed simulation's kernel-service energy
+	ErrorPct  float64 // signed (estimate-actual)/actual
+	// Internal* restrict the comparison to kernel-internal services (utlb,
+	// tlb_miss, vfault, demand_zero, cacheflush, clock, du_poll), whose
+	// per-invocation energy Table 5 shows to be nearly constant. I/O
+	// syscalls need transfer-size-aware modeling, as the paper's Table 5
+	// discussion anticipates.
+	InternalEstimateJ float64
+	InternalActualJ   float64
+	InternalErrorPct  float64
+	CalibRuns         int
+	UsedCounts        map[trace.Svc]uint64
+}
+
+// internalSvcs lists the kernel-internal services with size-independent
+// invocations.
+var internalSvcs = map[trace.Svc]bool{
+	trace.SvcUTLB: true, trace.SvcTLBMiss: true, trace.SvcVFault: true,
+	trace.SvcDemandZero: true, trace.SvcCacheFlush: true,
+	trace.SvcClock: true, trace.SvcDuPoll: true,
+}
+
+// CalibrateServiceEnergies computes per-service mean invocation energies
+// over a set of calibration runs (the counterpart of profiling a few
+// workloads in detail once).
+func (e *Estimator) CalibrateServiceEnergies(calib []*RunResult) map[trace.Svc]float64 {
+	out := make(map[trace.Svc]float64)
+	for s := trace.Svc(1); s < trace.NumSvc; s++ {
+		var agg trace.ServiceStats
+		for _, r := range calib {
+			agg.Invocations += r.Services[s].Invocations
+			agg.EnergyPerInv.Merge(r.Services[s].EnergyPerInv)
+		}
+		if agg.Invocations > 0 {
+			out[s] = agg.EnergyPerInv.Mean()
+		}
+	}
+	return out
+}
+
+// EstimateKernelEnergy predicts target's total kernel-service energy from
+// its invocation counts and the calibrated per-service means, and compares
+// against the detailed simulation's value.
+func (e *Estimator) EstimateKernelEnergy(means map[trace.Svc]float64, target *RunResult) TraceEstimate {
+	te := TraceEstimate{
+		Benchmark:  target.Benchmark,
+		UsedCounts: make(map[trace.Svc]uint64),
+	}
+	for s := trace.Svc(1); s < trace.NumSvc; s++ {
+		st := &target.Services[s]
+		if st.Invocations == 0 {
+			continue
+		}
+		te.UsedCounts[s] = st.Invocations
+		actual := e.Model.BucketEnergy(&st.Total).Total
+		te.ActualJ += actual
+		var est float64
+		if m, ok := means[s]; ok {
+			est = m * float64(st.Invocations)
+			te.EstimateJ += est
+		}
+		if internalSvcs[s] {
+			te.InternalActualJ += actual
+			te.InternalEstimateJ += est
+		}
+	}
+	if te.ActualJ > 0 {
+		te.ErrorPct = 100 * (te.EstimateJ - te.ActualJ) / te.ActualJ
+	}
+	if te.InternalActualJ > 0 {
+		te.InternalErrorPct = 100 * (te.InternalEstimateJ - te.InternalActualJ) / te.InternalActualJ
+	}
+	return te
+}
+
+// CrossValidateTraceEstimation performs leave-one-out validation over a set
+// of runs: for each run, calibrate the per-service means on the other runs
+// and estimate the held-out run's kernel energy from its counts alone.
+func (e *Estimator) CrossValidateTraceEstimation(runs []*RunResult) []TraceEstimate {
+	out := make([]TraceEstimate, 0, len(runs))
+	for i := range runs {
+		var calib []*RunResult
+		for j := range runs {
+			if j != i {
+				calib = append(calib, runs[j])
+			}
+		}
+		means := e.CalibrateServiceEnergies(calib)
+		te := e.EstimateKernelEnergy(means, runs[i])
+		te.CalibRuns = len(calib)
+		out = append(out, te)
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+// Package mipsy implements the simple in-order CPU timing model, the
+// counterpart of SimOS's Mipsy: a single-issue pipeline with blocking
+// caches. It drives the functional core one instruction at a time and
+// charges stall cycles for cache misses, multi-cycle operations, taken
+// branches and exceptions. The paper uses Mipsy to obtain memory-system
+// behaviour (Figure 3) and as the fast first pass before MXS runs.
+package mipsy
+
+import (
+	"softwatt/internal/arch"
+	"softwatt/internal/isa"
+	"softwatt/internal/mem"
+	"softwatt/internal/trace"
+)
+
+// Pipeline refill costs for traps. An R4000-class exception drains the
+// pipeline, switches mode and refetches from the vector; ERET drains again
+// on the way out. These costs, together with the handler body, put one utlb
+// refill at ~20-25 cycles, matching the per-invocation weight that lets the
+// utlb service dominate kernel time as in the paper's Table 4.
+const (
+	excFlushCycles  = 8
+	eretDrainCycles = 5
+)
+
+// Core is the in-order timing model.
+type Core struct {
+	cpu *arch.CPU
+	h   *mem.Hierarchy
+	col *trace.Collector
+
+	busy int // stall cycles remaining before the next instruction
+
+	// Committed counts all architecturally executed instructions.
+	Committed uint64
+}
+
+// New creates a Mipsy core over the given functional CPU, cache hierarchy
+// and collector.
+func New(cpu *arch.CPU, h *mem.Hierarchy, col *trace.Collector) *Core {
+	return &Core{cpu: cpu, h: h, col: col}
+}
+
+// CPU returns the underlying functional core.
+func (c *Core) CPU() *arch.CPU { return c.cpu }
+
+// Tick advances the pipeline by one cycle, invoking commit when an
+// instruction completes architecturally this cycle.
+func (c *Core) Tick(cycle uint64, commit func(*arch.StepInfo)) {
+	if c.busy > 0 {
+		c.busy--
+		return
+	}
+	info := c.cpu.Step(cycle)
+	if info.Halted {
+		commit(&info)
+		return
+	}
+	if info.Waiting {
+		// WAIT state: the core is clock-gated; no fetch, no activity.
+		commit(&info)
+		return
+	}
+	c.Committed++
+	c.col.AddInst(1)
+	cost := 1
+
+	// Instruction fetch (interrupt delivery and fetch faults read nothing).
+	if info.TLBLookups > 0 {
+		c.col.AddUnit(trace.UnitTLB, uint64(info.TLBLookups))
+	}
+	if info.Fetched {
+		lat, acc := c.h.IFetch(info.PhysPC)
+		c.countMem(acc)
+		cost += lat - 1
+	}
+
+	if info.TookException {
+		// The faulting instruction did not execute; charge the pipeline
+		// drain and the refetch from the vector (R4000-like trap cost).
+		c.busy = cost + excFlushCycles - 1
+		commit(&info)
+		return
+	}
+
+	in := info.Inst
+	inf := in.Info()
+
+	// Register file traffic.
+	var deps [4]uint8
+	if n := len(in.Uses(deps[:0])); n > 0 {
+		c.col.AddUnit(trace.UnitRegRead, uint64(n))
+	}
+	if n := len(in.Defs(deps[:0])); n > 0 {
+		c.col.AddUnit(trace.UnitRegWrite, uint64(n))
+		c.col.AddUnit(trace.UnitResultBus, uint64(n))
+	}
+
+	// Execution unit.
+	switch inf.Class {
+	case isa.ClassALU, isa.ClassShift, isa.ClassBranch, isa.ClassJump:
+		c.col.AddUnit(trace.UnitALU, 1)
+	case isa.ClassMul, isa.ClassDiv:
+		c.col.AddUnit(trace.UnitMul, 1)
+		cost += inf.Latency - 1
+	case isa.ClassFP, isa.ClassFPDiv:
+		c.col.AddUnit(trace.UnitFPU, 1)
+		cost += inf.Latency - 1
+	case isa.ClassLoad, isa.ClassStore:
+		c.col.AddUnit(trace.UnitALU, 1) // address generation
+	}
+
+	// Data memory.
+	if info.Mem != arch.MemNone {
+		if info.MemUncached {
+			ulat, _ := c.h.Uncached()
+			cost += ulat
+		} else {
+			dlat, dacc := c.h.Data(info.MemPaddr, info.Mem == arch.MemStore)
+			c.countMem(dacc)
+			cost += dlat - 1
+		}
+	}
+
+	// Cache maintenance.
+	if info.CacheOp && info.CacheMapped {
+		flat, facc := c.h.FlushLine(info.CachePaddr)
+		c.countMem(facc)
+		cost += flat - 1
+	}
+
+	// Control flow: a taken branch or jump redirects the single-issue
+	// fetch stream, costing one bubble; ERET additionally drains the
+	// pipeline before the mode switch takes effect.
+	if info.BranchTaken || inf.Class == isa.ClassJump {
+		cost++
+	}
+	if in.Op == isa.OpERET {
+		cost += eretDrainCycles
+	}
+
+	c.busy = cost - 1
+	commit(&info)
+}
+
+func (c *Core) countMem(acc mem.Accesses) {
+	if acc.L1I > 0 {
+		c.col.AddUnit(trace.UnitL1I, uint64(acc.L1I))
+	}
+	if acc.L1D > 0 {
+		c.col.AddUnit(trace.UnitL1D, uint64(acc.L1D))
+	}
+	if acc.L2 > 0 {
+		c.col.AddUnit(trace.UnitL2, uint64(acc.L2))
+	}
+	if acc.Mem > 0 {
+		c.col.AddUnit(trace.UnitMem, uint64(acc.Mem))
+	}
+}

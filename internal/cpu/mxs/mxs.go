@@ -1,0 +1,708 @@
+// Package mxs implements the out-of-order superscalar CPU timing model, the
+// counterpart of SimOS's MXS (a MIPS R10000-like core): 4-wide fetch with
+// branch prediction (BHT/BTB/return-address stack), register renaming, a
+// 64-entry instruction window/reorder buffer, a 32-entry load/store queue,
+// 2 integer + 2 floating-point units, and 4-wide in-order commit, matching
+// the paper's Table 1.
+//
+// The model follows the timing-first methodology: the functional core
+// (internal/arch) is stepped at fetch time for true-path instructions and
+// is the single source of architectural truth; wrong-path instructions are
+// fetched from memory (perturbing the I-cache and predictors, as on real
+// hardware) but never change architectural state. Serializing instructions
+// (COP0 ops, ERET, syscalls, LL/SC, CACHE) issue only from the head of the
+// window and flush on commit — this is why kernel code achieves a lower IPC
+// than user code here, the effect the paper measures in §3.2.
+package mxs
+
+import (
+	"math"
+
+	"softwatt/internal/arch"
+	"softwatt/internal/isa"
+	"softwatt/internal/mem"
+	"softwatt/internal/trace"
+)
+
+// Config sets the microarchitectural parameters.
+type Config struct {
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	WindowSize  int // instruction window / ROB entries
+	LSQSize     int
+	IntUnits    int
+	FPUnits     int
+	BHTSize     int // branch history table (2-bit counters)
+	BTBSize     int
+	RASSize     int
+	FrontDepth  int // fetch→issue pipeline depth in cycles
+}
+
+// DefaultConfig returns the paper's Table 1 processor.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  4,
+		IssueWidth:  4,
+		CommitWidth: 4,
+		WindowSize:  64,
+		LSQSize:     32,
+		IntUnits:    2,
+		FPUnits:     2,
+		BHTSize:     1024,
+		BTBSize:     1024,
+		RASSize:     32,
+		FrontDepth:  3,
+	}
+}
+
+type entState uint8
+
+const (
+	stWaiting entState = iota // dispatched, waiting for operands
+	stIssued                  // executing
+	stDone                    // awaiting commit
+)
+
+const never = math.MaxUint64
+
+// Front-end restart delays after a trap-class redirect commits: taking an
+// exception pays the pipeline privilege switch plus the vector fetch;
+// returning with ERET is cheaper (the target is architectural state).
+const (
+	trapEnterPenalty  = 5
+	trapReturnPenalty = 2
+)
+
+type robEnt struct {
+	real bool // architecturally stepped (true path)
+	info arch.StepInfo
+	inst isa.Inst
+	pc   uint32
+
+	state      entState
+	seq        uint64 // global dispatch sequence number
+	issueAt    uint64 // earliest issue cycle (frontend depth + I-miss delay)
+	doneAt     uint64
+	predNext   uint32
+	isMem      bool
+	isStore    bool
+	redirected bool // fetch was already redirected for this entry
+
+	uses   [4]uint8
+	srcSeq [4]uint64 // producing entry's seq per source (0 = architecturally ready)
+	nUses  int
+	nDefs  int
+	defs   [2]uint8
+}
+
+type btbEnt struct {
+	tag    uint32
+	target uint32
+}
+
+// Core is the MXS timing model.
+type Core struct {
+	cfg Config
+	cpu *arch.CPU
+	h   *mem.Hierarchy
+	col *trace.Collector
+	bus arch.Bus // wrong-path instruction reads
+
+	rob   []robEnt
+	head  int
+	count int
+
+	fetchPC       uint32
+	wrongPath     bool
+	fetchStalled  bool
+	fetchResumeAt uint64 // trap vectoring delay: fetch idles until this cycle
+	sleep         bool
+	halted        bool
+
+	lsqCount int
+
+	// serialInFlight counts real serializing entries in the window; fetch
+	// stalls while one is pending, as R10000 COP0 serialization stalls the
+	// front end.
+	serialInFlight int
+
+	// Rename map: the dispatch sequence number of the latest in-flight
+	// writer of each dependency register (0 = value is architectural).
+	regProducer [isa.NumDepRegs]uint64
+	nextSeq     uint64 // next dispatch sequence number (starts at 1)
+	headSeq     uint64 // seq of the entry at window position 0
+
+	bht    []uint8
+	btb    []btbEnt
+	ras    []uint32
+	rasTop int
+
+	divBusyUntil   uint64
+	fpDivBusyUntil uint64
+
+	// Statistics.
+	Committed   uint64
+	Bogus       uint64 // wrong-path instructions fetched
+	Mispredicts uint64
+	Flushes     uint64 // serializing/exception flushes
+}
+
+// New creates an MXS core. bus is the physical address space used for
+// wrong-path instruction reads (normally the same bus the CPU sees).
+func New(cpu *arch.CPU, h *mem.Hierarchy, col *trace.Collector, bus arch.Bus, cfg Config) *Core {
+	c := &Core{
+		cfg: cfg,
+		cpu: cpu,
+		h:   h,
+		col: col,
+		bus: bus,
+		rob: make([]robEnt, cfg.WindowSize),
+		bht: make([]uint8, cfg.BHTSize),
+		btb: make([]btbEnt, cfg.BTBSize),
+		ras: make([]uint32, cfg.RASSize),
+	}
+	for i := range c.bht {
+		c.bht[i] = 1 // weakly not-taken
+	}
+	c.fetchPC = cpu.PC
+	c.nextSeq = 1
+	c.headSeq = 1
+	return c
+}
+
+// CPU returns the functional core.
+func (c *Core) CPU() *arch.CPU { return c.cpu }
+
+func (c *Core) at(i int) *robEnt { return &c.rob[(c.head+i)%c.cfg.WindowSize] }
+
+// Tick advances one cycle.
+func (c *Core) Tick(cycle uint64, commit func(*arch.StepInfo)) {
+	if c.halted {
+		return
+	}
+	c.writeback(cycle)
+	c.commitStage(cycle, commit)
+	c.issue(cycle)
+	c.fetch(cycle, commit)
+}
+
+// ---------------------------------------------------------------------------
+// Writeback: complete executing instructions; resolve branches.
+// ---------------------------------------------------------------------------
+
+func (c *Core) writeback(cycle uint64) {
+	for i := 0; i < c.count; i++ {
+		e := c.at(i)
+		if e.state != stIssued || e.doneAt > cycle {
+			continue
+		}
+		e.state = stDone
+		if e.real && e.nDefs > 0 {
+			c.col.AddUnit(trace.UnitRegWrite, uint64(e.nDefs))
+			c.col.AddUnit(trace.UnitResultBus, uint64(e.nDefs))
+		}
+		// Branch/jump resolution: redirect as soon as the target is known.
+		if e.real && !e.info.TookException {
+			cl := e.inst.Info().Class
+			if (cl == isa.ClassBranch || cl == isa.ClassJump) && e.predNext != e.info.NextPC {
+				c.Mispredicts++
+				e.redirected = true
+				c.squashAfter(i, cycle)
+				c.redirect(e.info.NextPC)
+				return // indices past i are gone
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Commit: in-order retirement.
+// ---------------------------------------------------------------------------
+
+func (c *Core) commitStage(cycle uint64, commit func(*arch.StepInfo)) {
+	for n := 0; n < c.cfg.CommitWidth && c.count > 0; n++ {
+		e := c.at(0)
+		if e.state != stDone {
+			return
+		}
+		if !e.real {
+			// A bogus entry can only reach the head if its squash was
+			// missed — treat as a model bug.
+			panic("mxs: wrong-path instruction at commit")
+		}
+		// Stores write the cache at retirement.
+		if e.isStore && e.info.Mem == arch.MemStore && !e.info.MemUncached {
+			_, acc := c.h.Data(e.info.MemPaddr, true)
+			c.countMem(acc)
+			c.col.AddUnit(trace.UnitLSQ, 1)
+		}
+		// Predictor training.
+		if e.inst.IsBranch() {
+			c.col.AddUnit(trace.UnitBpred, 1)
+			c.trainBranch(e.pc, e.info.BranchTaken)
+		} else if e.inst.Op == isa.OpJR || e.inst.Op == isa.OpJALR {
+			c.trainBTB(e.pc, e.info.NextPC)
+		}
+		if !e.info.Waiting && !e.info.Halted {
+			c.Committed++
+			c.col.AddInst(1)
+		}
+		commit(&e.info)
+		if isSerial(e) {
+			c.serialInFlight--
+		}
+		needRedirect := e.predNext != e.info.NextPC && !e.redirected
+		isMem := e.isMem
+		c.head = (c.head + 1) % c.cfg.WindowSize
+		c.count--
+		c.headSeq++
+		if isMem {
+			c.lsqCount--
+		}
+		if needRedirect {
+			// Exceptions, ERET, serializing flushes: squash everything
+			// younger and refetch from the architectural next PC. Trap
+			// vectoring additionally costs a privilege-switch delay before
+			// the front end restarts (R4000/R10000-like trap overhead).
+			c.Flushes++
+			c.squashAfter(-1, cycle)
+			c.redirect(e.info.NextPC)
+			if e.info.TookException {
+				c.fetchResumeAt = cycle + trapEnterPenalty
+			} else if e.inst.Op == isa.OpERET {
+				c.fetchResumeAt = cycle + trapReturnPenalty
+			}
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Issue: select ready instructions onto functional units.
+// ---------------------------------------------------------------------------
+
+func (c *Core) issue(cycle uint64) {
+	intFree, fpFree := c.cfg.IntUnits, c.cfg.FPUnits
+	issued := 0
+	for i := 0; i < c.count && issued < c.cfg.IssueWidth; i++ {
+		e := c.at(i)
+		if e.state != stWaiting || e.issueAt > cycle {
+			continue
+		}
+		inf := e.inst.Info()
+		serial := isSerial(e)
+		if serial {
+			// Serializing work issues only from the head of the window,
+			// alone, with everything older retired — and it holds back
+			// every younger instruction until it completes, as COP0 ops
+			// do on a real R10000.
+			if i != 0 || issued != 0 {
+				break
+			}
+		}
+		ready := true
+		for u := 0; u < e.nUses; u++ {
+			s := e.srcSeq[u]
+			if s < c.headSeq {
+				continue // producer committed (or none): value architectural
+			}
+			p := c.at(int(s - c.headSeq))
+			if p.state != stDone || p.doneAt > cycle {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		// Functional unit binding.
+		lat := inf.Latency
+		switch inf.Class {
+		case isa.ClassFP:
+			if fpFree == 0 {
+				continue
+			}
+			fpFree--
+			c.countFU(e, trace.UnitFPU)
+		case isa.ClassFPDiv:
+			if fpFree == 0 || c.fpDivBusyUntil > cycle {
+				continue
+			}
+			fpFree--
+			c.fpDivBusyUntil = cycle + uint64(lat)
+			c.countFU(e, trace.UnitFPU)
+		case isa.ClassDiv:
+			if intFree == 0 || c.divBusyUntil > cycle {
+				continue
+			}
+			intFree--
+			c.divBusyUntil = cycle + uint64(lat)
+			c.countFU(e, trace.UnitMul)
+		case isa.ClassMul:
+			if intFree == 0 {
+				continue
+			}
+			intFree--
+			c.countFU(e, trace.UnitMul)
+		default:
+			if intFree == 0 {
+				continue
+			}
+			intFree--
+			c.countFU(e, trace.UnitALU)
+		}
+		issued++
+		e.state = stIssued
+		if e.real {
+			c.col.AddUnit(trace.UnitWindow, 1) // wakeup + select
+			if e.nUses > 0 {
+				c.col.AddUnit(trace.UnitRegRead, uint64(e.nUses))
+			}
+		}
+
+		switch {
+		case e.isMem && e.isStore:
+			// Address generation; the cache write happens at commit.
+			if e.real {
+				c.col.AddUnit(trace.UnitLSQ, 1)
+			}
+			e.doneAt = cycle + 1
+		case e.isMem:
+			if e.real {
+				c.col.AddUnit(trace.UnitLSQ, 1)
+			}
+			if !e.real {
+				e.doneAt = cycle + 1 // wrong-path load: no data access
+				break
+			}
+			if e.info.MemUncached {
+				ulat, _ := c.h.Uncached()
+				e.doneAt = cycle + uint64(ulat)
+				break
+			}
+			if c.forwardedFromStore(i, e.info.MemPaddr) {
+				e.doneAt = cycle + 1
+				break
+			}
+			dlat, acc := c.h.Data(e.info.MemPaddr, false)
+			c.countMem(acc)
+			e.doneAt = cycle + uint64(dlat)
+		case e.real && e.inst.Op == isa.OpCACHE && e.info.CacheMapped:
+			flat, facc := c.h.FlushLine(e.info.CachePaddr)
+			c.countMem(facc)
+			e.doneAt = cycle + uint64(flat)
+		default:
+			e.doneAt = cycle + uint64(lat)
+		}
+	}
+}
+
+// forwardedFromStore reports whether an older in-flight store to the same
+// word can forward to the load at window position idx.
+func (c *Core) forwardedFromStore(idx int, paddr uint32) bool {
+	for i := idx - 1; i >= 0; i-- {
+		e := c.at(i)
+		if e.isStore && e.real && e.info.Mem == arch.MemStore &&
+			e.info.MemPaddr>>2 == paddr>>2 {
+			c.col.AddUnit(trace.UnitLSQ, 1) // forwarding search hit
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Fetch + dispatch.
+// ---------------------------------------------------------------------------
+
+func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
+	if c.sleep {
+		if c.count > 0 {
+			return // drain before sleeping
+		}
+		info := c.cpu.Step(cycle)
+		commit(&info)
+		if info.Halted {
+			c.halted = true
+			return
+		}
+		if !info.Waiting {
+			// Woken by an interrupt: info is the interrupt dispatch.
+			c.sleep = false
+			c.fetchPC = c.cpu.PC
+			c.wrongPath = false
+		}
+		return
+	}
+	if c.fetchStalled || c.serialInFlight > 0 || cycle < c.fetchResumeAt {
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.count == c.cfg.WindowSize {
+			return
+		}
+		real := !c.wrongPath && c.fetchPC == c.cpu.PC
+		var e robEnt
+		e.pc = c.fetchPC
+		e.issueAt = cycle + uint64(c.cfg.FrontDepth)
+
+		if real {
+			info := c.cpu.Step(cycle)
+			if info.Halted {
+				commit(&info)
+				c.halted = true
+				return
+			}
+			if info.Waiting {
+				c.sleep = true
+			}
+			e.real = true
+			e.info = info
+			e.inst = info.Inst
+			if info.TLBLookups > 0 {
+				c.col.AddUnit(trace.UnitTLB, uint64(info.TLBLookups))
+			}
+			if info.Fetched {
+				ilat, acc := c.h.IFetch(info.PhysPC)
+				c.countMem(acc)
+				if ilat > 1 {
+					e.issueAt += uint64(ilat - 1)
+				}
+			}
+		} else {
+			// Wrong-path fetch: read memory, decode, never execute.
+			c.Bogus++
+			paddr, ok := c.translateFetch(c.fetchPC)
+			if !ok {
+				c.fetchStalled = true
+				break
+			}
+			ilat, acc := c.h.IFetch(paddr)
+			c.countMem(acc)
+			if ilat > 1 {
+				e.issueAt += uint64(ilat - 1)
+			}
+			raw := uint32(c.readMemWord(paddr))
+			e.inst = isa.Decode(raw)
+		}
+
+		if e.real {
+			c.col.AddUnit(trace.UnitRename, 1)
+		}
+		e.nUses = len(e.inst.Uses(e.uses[:0]))
+		e.nDefs = len(e.inst.Defs(e.defs[:0]))
+		for u := 0; u < e.nUses; u++ {
+			e.srcSeq[u] = c.regProducer[e.uses[u]] // rename: capture producers
+		}
+		e.isMem = e.inst.IsLoad() || e.inst.IsStore()
+		e.isStore = e.inst.IsStore()
+		if e.isMem {
+			if c.lsqCount == c.cfg.LSQSize {
+				// LSQ full: undo nothing, just stop fetching this cycle.
+				// (The entry was not yet inserted.)
+				if e.real {
+					// We already stepped the oracle; we must insert.
+					// Allow window overflow of the LSQ bound by one in this
+					// rare case rather than corrupting the oracle.
+				} else {
+					break
+				}
+			}
+			c.lsqCount++
+		}
+
+		// Next fetch PC via prediction.
+		e.predNext = c.predictNext(e.pc, e.inst, e.real, &e.info)
+		c.fetchPC = e.predNext
+		if e.real && e.predNext != e.info.NextPC {
+			c.wrongPath = true
+		}
+
+		// Rename: this entry becomes the latest writer of its defs.
+		e.seq = c.nextSeq
+		c.nextSeq++
+		for d := 0; d < e.nDefs; d++ {
+			c.regProducer[e.defs[d]] = e.seq
+		}
+
+		if isSerial(&e) {
+			c.serialInFlight++
+		}
+		*c.at(c.count) = e
+		c.count++
+
+		if e.real && c.sleep {
+			return
+		}
+		// Stop the fetch group at a predicted-taken control transfer.
+		if e.predNext != e.pc+4 {
+			return
+		}
+	}
+}
+
+// predictNext consults the branch predictors for the fetched instruction.
+func (c *Core) predictNext(pc uint32, in isa.Inst, real bool, info *arch.StepInfo) uint32 {
+	if real && info.TookException {
+		return pc + 4 // traps are never predicted
+	}
+	switch in.Info().Class {
+	case isa.ClassBranch:
+		if real {
+			c.col.AddUnit(trace.UnitBpred, 1)
+		}
+		if c.bht[(pc>>2)%uint32(c.cfg.BHTSize)] >= 2 {
+			return isa.BranchTarget(pc, in.Imm)
+		}
+		return pc + 4
+	case isa.ClassJump:
+		if real {
+			c.col.AddUnit(trace.UnitBpred, 1)
+		}
+		switch in.Op {
+		case isa.OpJ:
+			return pc&0xF000_0000 | in.Target
+		case isa.OpJAL:
+			c.rasPush(pc + 4)
+			return pc&0xF000_0000 | in.Target
+		case isa.OpJALR:
+			c.rasPush(pc + 4)
+			return c.btbLookup(pc)
+		case isa.OpJR:
+			if in.Rs == isa.RegRA {
+				return c.rasPop()
+			}
+			return c.btbLookup(pc)
+		}
+	}
+	return pc + 4
+}
+
+func (c *Core) btbLookup(pc uint32) uint32 {
+	e := &c.btb[(pc>>2)%uint32(c.cfg.BTBSize)]
+	if e.tag == pc && e.target != 0 {
+		return e.target
+	}
+	return pc + 4
+}
+
+func (c *Core) rasPush(v uint32) {
+	c.ras[c.rasTop%c.cfg.RASSize] = v
+	c.rasTop++
+}
+
+func (c *Core) rasPop() uint32 {
+	if c.rasTop == 0 {
+		return 0 // forces a mispredict-style redirect
+	}
+	c.rasTop--
+	return c.ras[c.rasTop%c.cfg.RASSize]
+}
+
+func (c *Core) trainBranch(pc uint32, taken bool) {
+	ctr := &c.bht[(pc>>2)%uint32(c.cfg.BHTSize)]
+	if taken {
+		if *ctr < 3 {
+			*ctr++
+		}
+	} else if *ctr > 0 {
+		*ctr--
+	}
+}
+
+func (c *Core) trainBTB(pc, target uint32) {
+	c.btb[(pc>>2)%uint32(c.cfg.BTBSize)] = btbEnt{tag: pc, target: target}
+}
+
+// translateFetch maps a wrong-path fetch PC, counting the TLB probe.
+func (c *Core) translateFetch(pc uint32) (uint32, bool) {
+	switch {
+	case pc >= isa.KSEG0Base && pc < isa.KSEG1Base:
+		return pc - isa.KSEG0Base, true
+	case pc >= isa.KSEG1Base && pc < isa.KSEG2Base:
+		return 0, false // never fetch from uncached space speculatively
+	default:
+		c.col.AddUnit(trace.UnitTLB, 1)
+		return c.cpu.ProbeTLB(pc &^ 3)
+	}
+}
+
+// readMemWord reads instruction bytes for wrong-path decode. The MMIO
+// region is never executable, so this has no device side effects.
+func (c *Core) readMemWord(paddr uint32) uint64 {
+	if c.bus == nil {
+		return 0
+	}
+	return c.bus.ReadPhys(paddr, 4)
+}
+
+// isSerial reports whether a real entry serializes the pipeline.
+func isSerial(e *robEnt) bool {
+	return e.real && (e.inst.Info().Serializing || e.info.TookException ||
+		e.info.MemUncached || e.info.Waiting || e.info.Halted)
+}
+
+// countFU charges a functional-unit access for real-path work only;
+// wrong-path operations occupy the unit for timing but their operand
+// values never switch it meaningfully in this tag-only model.
+func (c *Core) countFU(e *robEnt, u trace.Unit) {
+	if e.real {
+		c.col.AddUnit(u, 1)
+	}
+}
+
+func (c *Core) countMem(acc mem.Accesses) {
+	if acc.L1I > 0 {
+		c.col.AddUnit(trace.UnitL1I, uint64(acc.L1I))
+	}
+	if acc.L1D > 0 {
+		c.col.AddUnit(trace.UnitL1D, uint64(acc.L1D))
+	}
+	if acc.L2 > 0 {
+		c.col.AddUnit(trace.UnitL2, uint64(acc.L2))
+	}
+	if acc.Mem > 0 {
+		c.col.AddUnit(trace.UnitMem, uint64(acc.Mem))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Squash machinery.
+// ---------------------------------------------------------------------------
+
+// squashAfter removes every window entry younger than logical position
+// keep (-1 squashes everything) and rebuilds the rename map.
+func (c *Core) squashAfter(keep int, cycle uint64) {
+	for i := keep + 1; i < c.count; i++ {
+		e := c.at(i)
+		if e.isMem {
+			c.lsqCount--
+		}
+	}
+	c.count = keep + 1
+	c.nextSeq = c.headSeq + uint64(c.count)
+	c.serialInFlight = 0
+	for i := 0; i < c.count; i++ {
+		if isSerial(c.at(i)) {
+			c.serialInFlight++
+		}
+	}
+	// Rebuild the rename map from surviving entries: committed values are
+	// architectural (0), surviving in-flight writers reclaim their regs.
+	for r := range c.regProducer {
+		c.regProducer[r] = 0
+	}
+	for i := 0; i < c.count; i++ {
+		e := c.at(i)
+		for d := 0; d < e.nDefs; d++ {
+			c.regProducer[e.defs[d]] = e.seq
+		}
+	}
+}
+
+func (c *Core) redirect(pc uint32) {
+	c.fetchPC = pc
+	c.wrongPath = false
+	c.fetchStalled = false
+}

@@ -1,0 +1,273 @@
+package disk
+
+import (
+	"math"
+	"testing"
+)
+
+func cfg(p PowerPolicy, thresholdSec float64) Config {
+	c := DefaultConfig()
+	c.Policy = p
+	c.SpindownThresholdSec = thresholdSec
+	return c
+}
+
+func TestStatePowerValues(t *testing.T) {
+	// Paper Figure 2 power values.
+	want := map[State]float64{
+		StateSleep: 0.15, StateIdle: 1.6, StateStandby: 0.35,
+		StateActive: 3.2, StateSeek: 4.1, StateSpinup: 4.2,
+		StateSpindown: 0, StateOff: 0,
+	}
+	for s, w := range want {
+		if got := s.PowerW(); got != w {
+			t.Errorf("%v power = %v, want %v", s, got, w)
+		}
+	}
+}
+
+func TestConventionalDiskAlwaysActive(t *testing.T) {
+	d := New(cfg(PolicyConventional, 0), nil)
+	if d.State() != StateActive {
+		t.Fatalf("initial state %v", d.State())
+	}
+	done, err := d.Submit(0, Request{Sector: 100, Count: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Advance(done)
+	if d.State() != StateActive {
+		t.Fatalf("post-completion state %v", d.State())
+	}
+	if !d.IRQPending() {
+		t.Fatal("no IRQ after completion")
+	}
+	// Energy over a fixed window with no further activity accrues at 3.2 W.
+	e0 := d.EnergyJ(done)
+	oneSec := uint64(200e6) // 1 s of cycles
+	e1 := d.EnergyJ(done + oneSec)
+	if diff := e1 - e0; math.Abs(diff-3.2) > 1e-9 {
+		t.Fatalf("idle-window energy = %v J, want 3.2", diff)
+	}
+}
+
+func TestIdlePolicyDropsToIdle(t *testing.T) {
+	d := New(cfg(PolicyIdle, 0), nil)
+	done, _ := d.Submit(0, Request{Sector: 0, Count: 1})
+	d.Advance(done + 1)
+	if d.State() != StateIdle {
+		t.Fatalf("state %v, want idle", d.State())
+	}
+	e0 := d.EnergyJ(done)
+	e1 := d.EnergyJ(done + uint64(200e6))
+	if diff := e1 - e0; math.Abs(diff-1.6) > 1e-9 {
+		t.Fatalf("idle-window energy = %v J, want 1.6", diff)
+	}
+	if d.Stats().Spindowns != 0 {
+		t.Fatal("idle policy must never spin down")
+	}
+}
+
+func TestStandbyPolicySpinsDownAfterThreshold(t *testing.T) {
+	c := cfg(PolicyStandby, 2.0) // scaled: 2 ms
+	d := New(c, nil)
+	done, _ := d.Submit(0, Request{Sector: 0, Count: 1})
+	thresh := uint64(2.0 / c.TimeScale * c.ClockHz)
+	spin := uint64(SpinupSec / c.TimeScale * c.ClockHz)
+
+	d.Advance(done + thresh - 1)
+	if d.State() != StateIdle {
+		t.Fatalf("before threshold: %v", d.State())
+	}
+	d.Advance(done + thresh + 1)
+	if d.State() != StateSpindown {
+		t.Fatalf("after threshold: %v", d.State())
+	}
+	d.Advance(done + thresh + spin + 1)
+	if d.State() != StateStandby {
+		t.Fatalf("after spindown: %v", d.State())
+	}
+	if d.Stats().Spindowns != 1 {
+		t.Fatalf("spindowns = %d", d.Stats().Spindowns)
+	}
+	// Standby draws 0.35 W.
+	base := done + thresh + spin + 1
+	diff := d.EnergyJ(base+uint64(200e6)) - d.EnergyJ(base)
+	if math.Abs(diff-0.35) > 1e-9 {
+		t.Fatalf("standby energy = %v J", diff)
+	}
+}
+
+func TestSpinupPenaltyOnRequestFromStandby(t *testing.T) {
+	c := cfg(PolicyStandby, 2.0)
+	d := New(c, nil)
+	done, _ := d.Submit(0, Request{Sector: 0, Count: 1})
+	thresh := uint64(2.0 / c.TimeScale * c.ClockHz)
+	spin := uint64(SpinupSec / c.TimeScale * c.ClockHz)
+	at := done + thresh + spin + 1000 // safely in standby
+	d.Advance(at)
+	if d.State() != StateStandby {
+		t.Fatalf("setup: %v", d.State())
+	}
+	done2, err := d.Submit(at, Request{Sector: 0, Count: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done2-at <= spin {
+		t.Fatalf("completion %d cycles after submit; spinup alone is %d", done2-at, spin)
+	}
+	if d.State() != StateSpinup {
+		t.Fatalf("state after submit from standby: %v", d.State())
+	}
+	if d.Stats().Spinups != 1 {
+		t.Fatalf("spinups = %d", d.Stats().Spinups)
+	}
+	d.Advance(done2)
+	if d.Stats().Reads != 2 {
+		t.Fatalf("reads = %d", d.Stats().Reads)
+	}
+}
+
+func TestRequestBeforeThresholdCancelsSpindown(t *testing.T) {
+	c := cfg(PolicyStandby, 2.0)
+	d := New(c, nil)
+	done, _ := d.Submit(0, Request{Sector: 0, Count: 1})
+	// Second request arrives well before the spindown threshold.
+	at := done + 1000
+	done2, _ := d.Submit(at, Request{Sector: 64, Count: 1})
+	d.Advance(done2 + 1)
+	if d.Stats().Spinups != 0 {
+		t.Fatalf("spinups = %d, want 0", d.Stats().Spinups)
+	}
+	if got := d.Stats().Spindowns; got != 1 {
+		// one spindown remains scheduled from the second completion
+		t.Fatalf("spindowns = %d, want 1 (rescheduled)", got)
+	}
+	if d.State() != StateIdle {
+		t.Fatalf("state %v", d.State())
+	}
+}
+
+func TestRequestDuringSpindownWaitsForBothSpins(t *testing.T) {
+	c := cfg(PolicyStandby, 2.0)
+	d := New(c, nil)
+	done, _ := d.Submit(0, Request{Sector: 0, Count: 1})
+	thresh := uint64(2.0 / c.TimeScale * c.ClockHz)
+	spin := uint64(SpinupSec / c.TimeScale * c.ClockHz)
+	at := done + thresh + spin/2 // mid-spindown
+	d.Advance(at)
+	if d.State() != StateSpindown {
+		t.Fatalf("setup: %v", d.State())
+	}
+	done2, _ := d.Submit(at, Request{Sector: 0, Count: 1})
+	// Must wait for remaining half spindown plus a full spinup.
+	if min := spin/2 + spin; done2-at < min {
+		t.Fatalf("completion after %d, want >= %d", done2-at, min)
+	}
+}
+
+func TestDiskDataRoundTrip(t *testing.T) {
+	d := New(DefaultConfig(), nil)
+	src := make([]byte, 3*SectorSize)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	d.Write(10, src)
+	got := make([]byte, 3*SectorSize)
+	d.Read(10, got)
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("byte %d: %x != %x", i, got[i], src[i])
+		}
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	d := New(DefaultConfig(), nil)
+	if _, err := d.Submit(0, Request{Sector: 0, Count: 0}); err == nil {
+		t.Fatal("zero-count accepted")
+	}
+	huge := uint32(len(d.Image())/SectorSize) + 1
+	if _, err := d.Submit(0, Request{Sector: huge, Count: 1}); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if _, err := d.Submit(0, Request{Sector: 0, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(1, Request{Sector: 0, Count: 1}); err == nil {
+		t.Fatal("submit while busy accepted")
+	}
+}
+
+func TestOnCompleteCallback(t *testing.T) {
+	var got *Request
+	d := New(DefaultConfig(), func(r Request) { got = &r })
+	done, _ := d.Submit(0, Request{Write: true, Sector: 5, Count: 2, DMAAddr: 0x1000})
+	d.Advance(done)
+	if got == nil || got.Sector != 5 || !got.Write {
+		t.Fatalf("callback got %+v", got)
+	}
+	if d.Stats().Writes != 1 || d.Stats().BytesMoved != 2*SectorSize {
+		t.Fatalf("stats %+v", d.Stats())
+	}
+}
+
+func TestSleepCommand(t *testing.T) {
+	d := New(cfg(PolicyIdle, 0), nil)
+	if err := d.Sleep(100); err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != StateSleep {
+		t.Fatalf("state %v", d.State())
+	}
+	diff := d.EnergyJ(100+uint64(200e6)) - d.EnergyJ(100)
+	if math.Abs(diff-0.15) > 1e-9 {
+		t.Fatalf("sleep energy = %v", diff)
+	}
+}
+
+func TestEnergyMonotonic(t *testing.T) {
+	c := cfg(PolicyStandby, 2.0)
+	d := New(c, nil)
+	var prev float64
+	var cycle uint64
+	for i := 0; i < 6; i++ {
+		done, err := d.Submit(cycle, Request{Sector: uint32(i * 100), Count: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycle = done + uint64(i)*uint64(1.0/c.TimeScale*c.ClockHz) // growing gaps
+		d.Advance(cycle)
+		e := d.EnergyJ(cycle)
+		if e < prev {
+			t.Fatalf("energy decreased: %v < %v", e, prev)
+		}
+		prev = e
+	}
+	total := d.FinishEnergy(cycle + 1000)
+	if total < prev {
+		t.Fatalf("final energy %v < %v", total, prev)
+	}
+}
+
+func TestStateCyclesAccounted(t *testing.T) {
+	c := cfg(PolicyStandby, 2.0)
+	d := New(c, nil)
+	done, _ := d.Submit(0, Request{Sector: 0, Count: 1})
+	endCycle := done + uint64(20.0/c.TimeScale*c.ClockHz)
+	d.FinishEnergy(endCycle)
+	st := d.Stats()
+	var sum uint64
+	for _, v := range st.StateCycles {
+		sum += v
+	}
+	if sum != endCycle {
+		t.Fatalf("state cycles sum %d != end %d", sum, endCycle)
+	}
+	if st.StateCycles[StateStandby] == 0 {
+		t.Fatal("no standby time accounted")
+	}
+	if st.StateCycles[StateSeek] == 0 || st.StateCycles[StateActive] == 0 {
+		t.Fatal("service phases not accounted")
+	}
+}

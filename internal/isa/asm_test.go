@@ -1,0 +1,273 @@
+package isa
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func word(t *testing.T, p *Program, seg, i int) uint32 {
+	t.Helper()
+	d := p.Segments[seg].Data
+	return binary.LittleEndian.Uint32(d[i*4 : i*4+4])
+}
+
+func TestAssembleBasicBlock(t *testing.T) {
+	src := `
+        .org 0x80020000
+start:
+        addiu sp, sp, -32
+        sw    ra, 28(sp)
+        li    t0, 0x12345678
+        la    t1, data
+        lw    t2, 0(t1)
+loop:
+        addiu t2, t2, -1
+        bnez  t2, loop
+        lw    ra, 28(sp)
+        addiu sp, sp, 32
+        ret
+
+        .align 8
+data:
+        .word 10, 0x20, 'A'
+        .asciiz "hi"
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["start"] != 0x80020000 {
+		t.Fatalf("start = %#x", p.Symbols["start"])
+	}
+	// li expands to lui+ori (2 words), la likewise.
+	if in := Decode(word(t, p, 0, 2)); in.Op != OpLUI || uint16(in.Imm) != 0x1234 {
+		t.Fatalf("li hi wrong: %v", in)
+	}
+	if in := Decode(word(t, p, 0, 3)); in.Op != OpORI || uint16(in.Imm) != 0x5678 {
+		t.Fatalf("li lo wrong: %v", in)
+	}
+	dataAddr := p.Symbols["data"]
+	if dataAddr%8 != 0 {
+		t.Fatalf("data not 8-aligned: %#x", dataAddr)
+	}
+	if in := Decode(word(t, p, 0, 4)); in.Op != OpLUI || uint32(uint16(in.Imm)) != dataAddr>>16 {
+		t.Fatalf("la hi wrong: %v (data=%#x)", in, dataAddr)
+	}
+	// Verify data contents.
+	off := int(dataAddr - 0x80020000)
+	d := p.Segments[0].Data
+	if binary.LittleEndian.Uint32(d[off:]) != 10 ||
+		binary.LittleEndian.Uint32(d[off+4:]) != 0x20 ||
+		binary.LittleEndian.Uint32(d[off+8:]) != 'A' {
+		t.Fatalf("data words wrong")
+	}
+	if string(d[off+12:off+15]) != "hi\x00" {
+		t.Fatalf("asciiz wrong: %q", d[off+12:off+15])
+	}
+}
+
+func TestAssembleBranchTargets(t *testing.T) {
+	src := `
+        .org 0x1000
+a:      nop
+b:      beq t0, t1, a
+        bne t0, t1, c
+        nop
+c:      ret
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// beq at 0x1004 targeting 0x1000: offset = (0x1000-0x1008)>>2 = -2
+	if in := Decode(word(t, p, 0, 1)); in.Op != OpBEQ || in.Imm != -2 {
+		t.Fatalf("backward branch wrong: %+v", in)
+	}
+	// bne at 0x1008 targeting 0x1010: offset = (0x1010-0x100C)>>2 = 1
+	if in := Decode(word(t, p, 0, 2)); in.Op != OpBNE || in.Imm != 1 {
+		t.Fatalf("forward branch wrong: %+v", in)
+	}
+}
+
+func TestAssemblePseudoExpansions(t *testing.T) {
+	src := `
+        .org 0
+        move  t0, t1
+        not   t2, t3
+        neg   t4, t5
+        blt   t0, t1, out
+        bge   t0, t1, out
+        bgt   t0, t1, out
+        ble   t0, t1, out
+out:    nop
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := Decode(word(t, p, 0, 0)); in.Op != OpADDU || in.Rd != RegT0 || in.Rs != RegT1 || in.Rt != RegZero {
+		t.Fatalf("move wrong: %+v", in)
+	}
+	if in := Decode(word(t, p, 0, 1)); in.Op != OpNOR {
+		t.Fatalf("not wrong: %+v", in)
+	}
+	if in := Decode(word(t, p, 0, 2)); in.Op != OpSUBU || in.Rs != RegZero {
+		t.Fatalf("neg wrong: %+v", in)
+	}
+	// blt = slt at, t0, t1 ; bne at, zero
+	if in := Decode(word(t, p, 0, 3)); in.Op != OpSLT || in.Rd != RegAT || in.Rs != RegT0 || in.Rt != RegT1 {
+		t.Fatalf("blt slt wrong: %+v", in)
+	}
+	if in := Decode(word(t, p, 0, 4)); in.Op != OpBNE || in.Rs != RegAT {
+		t.Fatalf("blt bne wrong: %+v", in)
+	}
+	// bgt = slt at, t1, t0 ; bne
+	if in := Decode(word(t, p, 0, 7)); in.Op != OpSLT || in.Rs != RegT1 || in.Rt != RegT0 {
+		t.Fatalf("bgt slt wrong: %+v", in)
+	}
+	if p.Symbols["out"] != 8*4+3*4 { // 3 one-word + 4 two-word pseudos... recompute below
+		// 3 single (move/not/neg) + 4 double (blt/bge/bgt/ble) = 11 words
+		if p.Symbols["out"] != 11*4 {
+			t.Fatalf("out = %#x, want %#x", p.Symbols["out"], 11*4)
+		}
+	}
+}
+
+func TestAssembleEquAndExpr(t *testing.T) {
+	src := `
+        .equ BASE, 0xA0000000
+        .equ OFF,  0x100
+        .org 0
+        li   t0, BASE + OFF
+        li   t1, BASE + OFF - 4
+        .word BASE - 0x10, OFF + 1
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := Decode(word(t, p, 0, 0)); uint16(in.Imm) != 0xA000 {
+		t.Fatalf("hi of BASE+OFF: %v", in)
+	}
+	if in := Decode(word(t, p, 0, 1)); uint16(in.Imm) != 0x0100 {
+		t.Fatalf("lo of BASE+OFF: %v", in)
+	}
+	if in := Decode(word(t, p, 0, 3)); uint16(in.Imm) != 0x00FC {
+		t.Fatalf("lo of BASE+OFF-4: %v", in)
+	}
+	if w := word(t, p, 0, 4); w != 0x9FFFFFF0 {
+		t.Fatalf(".word expr = %#x", w)
+	}
+	if w := word(t, p, 0, 5); w != 0x101 {
+		t.Fatalf(".word expr2 = %#x", w)
+	}
+}
+
+func TestAssembleHiLo(t *testing.T) {
+	src := `
+        .org 0x2000
+        lui  t0, %hi(sym)
+        ori  t0, t0, %lo(sym)
+        lw   t1, %lo(sym)(t0)
+        .org 0x12344
+sym:    .word 99
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := Decode(word(t, p, 0, 0)); uint16(in.Imm) != 0x0001 {
+		t.Fatalf("%%hi: %v", in)
+	}
+	if in := Decode(word(t, p, 0, 1)); uint16(in.Imm) != 0x2344 {
+		t.Fatalf("%%lo: %v", in)
+	}
+	if in := Decode(word(t, p, 0, 2)); in.Op != OpLW || uint16(in.Imm) != 0x2344 {
+		t.Fatalf("lw %%lo(sym)(t0): %v", in)
+	}
+}
+
+func TestAssembleMultipleSegments(t *testing.T) {
+	src := `
+        .org 0x0
+        j handler
+        .org 0x80
+handler:
+        eret
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) != 2 {
+		t.Fatalf("segments = %d", len(p.Segments))
+	}
+	if p.Segments[1].Addr != 0x80 {
+		t.Fatalf("seg1 addr = %#x", p.Segments[1].Addr)
+	}
+	if p.End() != 0x84 || p.Size() != 8 {
+		t.Fatalf("End=%#x Size=%d", p.End(), p.Size())
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src    string
+		substr string
+	}{
+		{"bogus t0, t1", "unknown mnemonic"},
+		{"add t0, t1", "expects 3 operands"},
+		{"lw t0, 4(nosuch)", "bad register"},
+		{"addi t0, t1, 0x10000", "out of signed 16-bit range"},
+		{"j nowhere", "undefined symbol"},
+		{"x: nop\nx: nop", "duplicate symbol"},
+		{".align 3", "power of two"},
+		{".bogus 1", "unknown directive"},
+		{"cache 1, 4()", "bad register"},
+	}
+	for _, tc := range cases {
+		_, err := Assemble(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("src %q: err = %v, want substring %q", tc.src, err, tc.substr)
+		}
+	}
+}
+
+func TestAssembleSpaceAndFill(t *testing.T) {
+	p, err := Assemble(".org 0\n.space 8, 0xAB\n.byte 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Segments[0].Data
+	if len(d) != 9 || d[0] != 0xAB || d[7] != 0xAB || d[8] != 1 {
+		t.Fatalf("space/fill wrong: %v", d)
+	}
+}
+
+func TestDisassembleRoundTrips(t *testing.T) {
+	// Assembling the disassembly of an instruction must reproduce the
+	// original encoding for a representative set.
+	srcs := []string{
+		"add t0, t1, t2", "sll v0, v1, 5", "lw a0, -4(sp)", "sw a0, 16(gp)",
+		"jr ra", "syscall", "eret", "tlbwr", "lui t9, 0xdead",
+		"fadd f2, f4, f6", "fld f0, 8(t0)", "cache 1, 0(t0)",
+		"mfc0 k0, $epc", "ll t0, 0(t1)", "sc t0, 0(t1)",
+	}
+	for _, s := range srcs {
+		p, err := Assemble(".org 0\n" + s + "\n")
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		raw := binary.LittleEndian.Uint32(p.Segments[0].Data)
+		dis := Disassemble(Decode(raw), 0)
+		p2, err := Assemble(".org 0\n" + dis + "\n")
+		if err != nil {
+			t.Fatalf("reassemble %q (from %q): %v", dis, s, err)
+		}
+		raw2 := binary.LittleEndian.Uint32(p2.Segments[0].Data)
+		if raw != raw2 {
+			t.Errorf("%q -> %q: %08x != %08x", s, dis, raw, raw2)
+		}
+	}
+}

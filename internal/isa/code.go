@@ -1,0 +1,550 @@
+package isa
+
+// Binary instruction formats follow MIPS-I conventions:
+//
+//	R-type: op(6) rs(5) rt(5) rd(5) shamt(5) funct(6)
+//	I-type: op(6) rs(5) rt(5) imm(16)
+//	J-type: op(6) target(26)
+//
+// COP0 (op 0x10) uses rs as a sub-opcode (MFC0/MTC0/CO), COP1 (op 0x11)
+// likewise (MFC1/MTC1/BC1/fmt-D arithmetic).
+
+// Primary opcode values.
+const (
+	opcSpecial = 0x00
+	opcRegImm  = 0x01
+	opcJ       = 0x02
+	opcJAL     = 0x03
+	opcBEQ     = 0x04
+	opcBNE     = 0x05
+	opcBLEZ    = 0x06
+	opcBGTZ    = 0x07
+	opcADDI    = 0x08
+	opcADDIU   = 0x09
+	opcSLTI    = 0x0A
+	opcSLTIU   = 0x0B
+	opcANDI    = 0x0C
+	opcORI     = 0x0D
+	opcXORI    = 0x0E
+	opcLUI     = 0x0F
+	opcCOP0    = 0x10
+	opcCOP1    = 0x11
+	opcLB      = 0x20
+	opcLH      = 0x21
+	opcLW      = 0x23
+	opcLBU     = 0x24
+	opcLHU     = 0x25
+	opcSB      = 0x28
+	opcSH      = 0x29
+	opcSW      = 0x2B
+	opcCACHE   = 0x2F
+	opcLL      = 0x30
+	opcLDC1    = 0x35
+	opcSC      = 0x38
+	opcSDC1    = 0x3D
+)
+
+// SPECIAL funct values.
+const (
+	fnSLL     = 0x00
+	fnSRL     = 0x02
+	fnSRA     = 0x03
+	fnSLLV    = 0x04
+	fnSRLV    = 0x06
+	fnSRAV    = 0x07
+	fnJR      = 0x08
+	fnJALR    = 0x09
+	fnSYSCALL = 0x0C
+	fnBREAK   = 0x0D
+	fnMUL     = 0x18
+	fnDIV     = 0x1A
+	fnREM     = 0x1B
+	fnDIVU    = 0x1C
+	fnREMU    = 0x1D
+	fnADD     = 0x20
+	fnADDU    = 0x21
+	fnSUB     = 0x22
+	fnSUBU    = 0x23
+	fnAND     = 0x24
+	fnOR      = 0x25
+	fnXOR     = 0x26
+	fnNOR     = 0x27
+	fnSLT     = 0x2A
+	fnSLTU    = 0x2B
+)
+
+// COP0 rs sub-opcodes and CO funct values.
+const (
+	copMF = 0x00
+	copMT = 0x04
+	copBC = 0x08
+	copCO = 0x10
+
+	c0fnTLBR  = 0x01
+	c0fnTLBWI = 0x02
+	c0fnTLBWR = 0x06
+	c0fnTLBP  = 0x08
+	c0fnERET  = 0x18
+	c0fnWAIT  = 0x20
+)
+
+// COP1 fmt-D funct values.
+const (
+	fpFmtD   = 0x11
+	f1fnADD  = 0x00
+	f1fnSUB  = 0x01
+	f1fnMUL  = 0x02
+	f1fnDIV  = 0x03
+	f1fnSQRT = 0x04
+	f1fnABS  = 0x05
+	f1fnMOV  = 0x06
+	f1fnNEG  = 0x07
+	f1fnCVTD = 0x20
+	f1fnCVTW = 0x24
+	f1fnCEQ  = 0x32
+	f1fnCLT  = 0x3C
+	f1fnCLE  = 0x3E
+)
+
+func rtype(op, rs, rt, rd, shamt, funct uint32) uint32 {
+	return op<<26 | rs<<21 | rt<<16 | rd<<11 | shamt<<6 | funct
+}
+
+func itype(op, rs, rt uint32, imm int32) uint32 {
+	return op<<26 | rs<<21 | rt<<16 | uint32(uint16(imm))
+}
+
+// Encode converts a decoded instruction back to its 32-bit binary form.
+func Encode(in Inst) uint32 {
+	rs, rt, rd, sh := uint32(in.Rs), uint32(in.Rt), uint32(in.Rd), uint32(in.Shamt)
+	switch in.Op {
+	case OpSLL:
+		return rtype(opcSpecial, 0, rt, rd, sh, fnSLL)
+	case OpSRL:
+		return rtype(opcSpecial, 0, rt, rd, sh, fnSRL)
+	case OpSRA:
+		return rtype(opcSpecial, 0, rt, rd, sh, fnSRA)
+	case OpSLLV:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnSLLV)
+	case OpSRLV:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnSRLV)
+	case OpSRAV:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnSRAV)
+	case OpJR:
+		return rtype(opcSpecial, rs, 0, 0, 0, fnJR)
+	case OpJALR:
+		return rtype(opcSpecial, rs, 0, rd, 0, fnJALR)
+	case OpSYSCALL:
+		return rtype(opcSpecial, 0, 0, 0, 0, fnSYSCALL)
+	case OpBREAK:
+		return rtype(opcSpecial, 0, 0, 0, 0, fnBREAK)
+	case OpMUL:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnMUL)
+	case OpDIV:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnDIV)
+	case OpREM:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnREM)
+	case OpDIVU:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnDIVU)
+	case OpREMU:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnREMU)
+	case OpADD:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnADD)
+	case OpADDU:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnADDU)
+	case OpSUB:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnSUB)
+	case OpSUBU:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnSUBU)
+	case OpAND:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnAND)
+	case OpOR:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnOR)
+	case OpXOR:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnXOR)
+	case OpNOR:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnNOR)
+	case OpSLT:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnSLT)
+	case OpSLTU:
+		return rtype(opcSpecial, rs, rt, rd, 0, fnSLTU)
+	case OpBLTZ:
+		return itype(opcRegImm, rs, 0, in.Imm)
+	case OpBGEZ:
+		return itype(opcRegImm, rs, 1, in.Imm)
+	case OpBEQ:
+		return itype(opcBEQ, rs, rt, in.Imm)
+	case OpBNE:
+		return itype(opcBNE, rs, rt, in.Imm)
+	case OpBLEZ:
+		return itype(opcBLEZ, rs, 0, in.Imm)
+	case OpBGTZ:
+		return itype(opcBGTZ, rs, 0, in.Imm)
+	case OpJ:
+		return opcJ<<26 | (in.Target>>2)&0x03FF_FFFF
+	case OpJAL:
+		return opcJAL<<26 | (in.Target>>2)&0x03FF_FFFF
+	case OpADDI:
+		return itype(opcADDI, rs, rt, in.Imm)
+	case OpADDIU:
+		return itype(opcADDIU, rs, rt, in.Imm)
+	case OpSLTI:
+		return itype(opcSLTI, rs, rt, in.Imm)
+	case OpSLTIU:
+		return itype(opcSLTIU, rs, rt, in.Imm)
+	case OpANDI:
+		return itype(opcANDI, rs, rt, in.Imm)
+	case OpORI:
+		return itype(opcORI, rs, rt, in.Imm)
+	case OpXORI:
+		return itype(opcXORI, rs, rt, in.Imm)
+	case OpLUI:
+		return itype(opcLUI, 0, rt, in.Imm)
+	case OpMFC0:
+		return rtype(opcCOP0, copMF, rt, rd, 0, 0)
+	case OpMTC0:
+		return rtype(opcCOP0, copMT, rt, rd, 0, 0)
+	case OpTLBR:
+		return rtype(opcCOP0, copCO, 0, 0, 0, c0fnTLBR)
+	case OpTLBWI:
+		return rtype(opcCOP0, copCO, 0, 0, 0, c0fnTLBWI)
+	case OpTLBWR:
+		return rtype(opcCOP0, copCO, 0, 0, 0, c0fnTLBWR)
+	case OpTLBP:
+		return rtype(opcCOP0, copCO, 0, 0, 0, c0fnTLBP)
+	case OpERET:
+		return rtype(opcCOP0, copCO, 0, 0, 0, c0fnERET)
+	case OpWAIT:
+		return rtype(opcCOP0, copCO, 0, 0, 0, c0fnWAIT)
+	case OpMFC1:
+		return rtype(opcCOP1, copMF, rt, rs, 0, 0) // rd field holds FPR
+	case OpMTC1:
+		return rtype(opcCOP1, copMT, rt, rs, 0, 0)
+	case OpBC1F:
+		return itype(opcCOP1, copBC, 0, in.Imm)
+	case OpBC1T:
+		return itype(opcCOP1, copBC, 1, in.Imm)
+	case OpFADD:
+		return rtype(opcCOP1, fpFmtD, rt, rs, rd, f1fnADD)
+	case OpFSUB:
+		return rtype(opcCOP1, fpFmtD, rt, rs, rd, f1fnSUB)
+	case OpFMUL:
+		return rtype(opcCOP1, fpFmtD, rt, rs, rd, f1fnMUL)
+	case OpFDIV:
+		return rtype(opcCOP1, fpFmtD, rt, rs, rd, f1fnDIV)
+	case OpFSQRT:
+		return rtype(opcCOP1, fpFmtD, 0, rs, rd, f1fnSQRT)
+	case OpFABS:
+		return rtype(opcCOP1, fpFmtD, 0, rs, rd, f1fnABS)
+	case OpFMOV:
+		return rtype(opcCOP1, fpFmtD, 0, rs, rd, f1fnMOV)
+	case OpFNEG:
+		return rtype(opcCOP1, fpFmtD, 0, rs, rd, f1fnNEG)
+	case OpCVTDW:
+		return rtype(opcCOP1, fpFmtD, 0, rs, rd, f1fnCVTD)
+	case OpCVTWD:
+		return rtype(opcCOP1, fpFmtD, 0, rs, rd, f1fnCVTW)
+	case OpFCEQ:
+		return rtype(opcCOP1, fpFmtD, rt, rs, 0, f1fnCEQ)
+	case OpFCLT:
+		return rtype(opcCOP1, fpFmtD, rt, rs, 0, f1fnCLT)
+	case OpFCLE:
+		return rtype(opcCOP1, fpFmtD, rt, rs, 0, f1fnCLE)
+	case OpLB:
+		return itype(opcLB, rs, rt, in.Imm)
+	case OpLH:
+		return itype(opcLH, rs, rt, in.Imm)
+	case OpLW:
+		return itype(opcLW, rs, rt, in.Imm)
+	case OpLBU:
+		return itype(opcLBU, rs, rt, in.Imm)
+	case OpLHU:
+		return itype(opcLHU, rs, rt, in.Imm)
+	case OpSB:
+		return itype(opcSB, rs, rt, in.Imm)
+	case OpSH:
+		return itype(opcSH, rs, rt, in.Imm)
+	case OpSW:
+		return itype(opcSW, rs, rt, in.Imm)
+	case OpLL:
+		return itype(opcLL, rs, rt, in.Imm)
+	case OpSC:
+		return itype(opcSC, rs, rt, in.Imm)
+	case OpCACHE:
+		return itype(opcCACHE, rs, rt, in.Imm)
+	case OpFLD:
+		return itype(opcLDC1, rs, rt, in.Imm)
+	case OpFSD:
+		return itype(opcSDC1, rs, rt, in.Imm)
+	}
+	return 0 // OpInvalid
+}
+
+func signExt16(v uint32) int32 { return int32(int16(v & 0xFFFF)) }
+
+// Decode converts a 32-bit binary instruction to its decoded form. Unknown
+// encodings decode to OpInvalid (which raises a reserved-instruction
+// exception when executed).
+func Decode(raw uint32) Inst {
+	op := raw >> 26
+	rs := uint8(raw >> 21 & 31)
+	rt := uint8(raw >> 16 & 31)
+	rd := uint8(raw >> 11 & 31)
+	sh := uint8(raw >> 6 & 31)
+	fn := raw & 63
+	imm := signExt16(raw)
+	in := Inst{Rs: rs, Rt: rt, Rd: rd, Shamt: sh, Imm: imm, Raw: raw}
+	switch op {
+	case opcSpecial:
+		switch fn {
+		case fnSLL:
+			in.Op = OpSLL
+		case fnSRL:
+			in.Op = OpSRL
+		case fnSRA:
+			in.Op = OpSRA
+		case fnSLLV:
+			in.Op = OpSLLV
+		case fnSRLV:
+			in.Op = OpSRLV
+		case fnSRAV:
+			in.Op = OpSRAV
+		case fnJR:
+			in.Op = OpJR
+		case fnJALR:
+			in.Op = OpJALR
+		case fnSYSCALL:
+			in.Op = OpSYSCALL
+		case fnBREAK:
+			in.Op = OpBREAK
+		case fnMUL:
+			in.Op = OpMUL
+		case fnDIV:
+			in.Op = OpDIV
+		case fnREM:
+			in.Op = OpREM
+		case fnDIVU:
+			in.Op = OpDIVU
+		case fnREMU:
+			in.Op = OpREMU
+		case fnADD:
+			in.Op = OpADD
+		case fnADDU:
+			in.Op = OpADDU
+		case fnSUB:
+			in.Op = OpSUB
+		case fnSUBU:
+			in.Op = OpSUBU
+		case fnAND:
+			in.Op = OpAND
+		case fnOR:
+			in.Op = OpOR
+		case fnXOR:
+			in.Op = OpXOR
+		case fnNOR:
+			in.Op = OpNOR
+		case fnSLT:
+			in.Op = OpSLT
+		case fnSLTU:
+			in.Op = OpSLTU
+		}
+	case opcRegImm:
+		switch rt {
+		case 0:
+			in.Op = OpBLTZ
+		case 1:
+			in.Op = OpBGEZ
+		}
+	case opcJ, opcJAL:
+		in.Target = (raw & 0x03FF_FFFF) << 2
+		if op == opcJ {
+			in.Op = OpJ
+		} else {
+			in.Op = OpJAL
+		}
+	case opcBEQ:
+		in.Op = OpBEQ
+	case opcBNE:
+		in.Op = OpBNE
+	case opcBLEZ:
+		in.Op = OpBLEZ
+	case opcBGTZ:
+		in.Op = OpBGTZ
+	case opcADDI:
+		in.Op = OpADDI
+	case opcADDIU:
+		in.Op = OpADDIU
+	case opcSLTI:
+		in.Op = OpSLTI
+	case opcSLTIU:
+		in.Op = OpSLTIU
+	case opcANDI:
+		in.Op, in.Imm = OpANDI, int32(raw&0xFFFF)
+	case opcORI:
+		in.Op, in.Imm = OpORI, int32(raw&0xFFFF)
+	case opcXORI:
+		in.Op, in.Imm = OpXORI, int32(raw&0xFFFF)
+	case opcLUI:
+		in.Op, in.Imm = OpLUI, int32(raw&0xFFFF)
+	case opcCOP0:
+		switch rs {
+		case copMF:
+			in.Op = OpMFC0
+		case copMT:
+			in.Op = OpMTC0
+		case copCO:
+			switch fn {
+			case c0fnTLBR:
+				in.Op = OpTLBR
+			case c0fnTLBWI:
+				in.Op = OpTLBWI
+			case c0fnTLBWR:
+				in.Op = OpTLBWR
+			case c0fnTLBP:
+				in.Op = OpTLBP
+			case c0fnERET:
+				in.Op = OpERET
+			case c0fnWAIT:
+				in.Op = OpWAIT
+			}
+		}
+	case opcCOP1:
+		switch rs {
+		case copMF:
+			in.Op, in.Rs = OpMFC1, rd // FPR source in rd field
+		case copMT:
+			in.Op, in.Rs = OpMTC1, rd // FPR dest in rd field
+		case copBC:
+			if rt&1 == 0 {
+				in.Op = OpBC1F
+			} else {
+				in.Op = OpBC1T
+			}
+		case fpFmtD:
+			// fields: rt(raw)=ft, rd(raw)=fs, shamt(raw)=fd
+			in.Rs, in.Rt, in.Rd = rd, rt, sh
+			switch fn {
+			case f1fnADD:
+				in.Op = OpFADD
+			case f1fnSUB:
+				in.Op = OpFSUB
+			case f1fnMUL:
+				in.Op = OpFMUL
+			case f1fnDIV:
+				in.Op = OpFDIV
+			case f1fnSQRT:
+				in.Op = OpFSQRT
+			case f1fnABS:
+				in.Op = OpFABS
+			case f1fnMOV:
+				in.Op = OpFMOV
+			case f1fnNEG:
+				in.Op = OpFNEG
+			case f1fnCVTD:
+				in.Op = OpCVTDW
+			case f1fnCVTW:
+				in.Op = OpCVTWD
+			case f1fnCEQ:
+				in.Op = OpFCEQ
+			case f1fnCLT:
+				in.Op = OpFCLT
+			case f1fnCLE:
+				in.Op = OpFCLE
+			}
+		}
+	case opcLB:
+		in.Op = OpLB
+	case opcLH:
+		in.Op = OpLH
+	case opcLW:
+		in.Op = OpLW
+	case opcLBU:
+		in.Op = OpLBU
+	case opcLHU:
+		in.Op = OpLHU
+	case opcSB:
+		in.Op = OpSB
+	case opcSH:
+		in.Op = OpSH
+	case opcSW:
+		in.Op = OpSW
+	case opcCACHE:
+		in.Op = OpCACHE
+	case opcLL:
+		in.Op = OpLL
+	case opcSC:
+		in.Op = OpSC
+	case opcLDC1:
+		in.Op = OpFLD
+	case opcSDC1:
+		in.Op = OpFSD
+	}
+	canon(&in)
+	return in
+}
+
+// canon zeroes the fields of in that carry no meaning for its operation, so
+// that Decode(Encode(x)) is the identity on well-formed instructions and
+// Decode is a canonical form for arbitrary words.
+func canon(in *Inst) {
+	type keep struct{ rs, rt, rd, sh, imm, tgt bool }
+	var k keep
+	switch in.Op {
+	case OpSLL, OpSRL, OpSRA:
+		k = keep{rt: true, rd: true, sh: true}
+	case OpSLLV, OpSRLV, OpSRAV,
+		OpADD, OpADDU, OpSUB, OpSUBU, OpAND, OpOR, OpXOR, OpNOR,
+		OpSLT, OpSLTU, OpMUL, OpDIV, OpREM, OpDIVU, OpREMU:
+		k = keep{rs: true, rt: true, rd: true}
+	case OpJR:
+		k = keep{rs: true}
+	case OpJALR:
+		k = keep{rs: true, rd: true}
+	case OpSYSCALL, OpBREAK, OpTLBR, OpTLBWI, OpTLBWR, OpTLBP, OpERET, OpWAIT,
+		OpInvalid:
+		k = keep{}
+	case OpBLTZ, OpBGEZ, OpBLEZ, OpBGTZ:
+		k = keep{rs: true, imm: true}
+	case OpBEQ, OpBNE:
+		k = keep{rs: true, rt: true, imm: true}
+	case OpJ, OpJAL:
+		k = keep{tgt: true}
+	case OpADDI, OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI:
+		k = keep{rs: true, rt: true, imm: true}
+	case OpLUI:
+		k = keep{rt: true, imm: true}
+	case OpMFC0, OpMTC0:
+		k = keep{rt: true, rd: true}
+	case OpMFC1, OpMTC1:
+		k = keep{rs: true, rt: true}
+	case OpBC1F, OpBC1T:
+		k = keep{imm: true}
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV:
+		k = keep{rs: true, rt: true, rd: true}
+	case OpFSQRT, OpFABS, OpFMOV, OpFNEG, OpCVTDW, OpCVTWD:
+		k = keep{rs: true, rd: true}
+	case OpFCEQ, OpFCLT, OpFCLE:
+		k = keep{rs: true, rt: true}
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU, OpSB, OpSH, OpSW, OpLL, OpSC,
+		OpCACHE, OpFLD, OpFSD:
+		k = keep{rs: true, rt: true, imm: true}
+	}
+	if !k.rs {
+		in.Rs = 0
+	}
+	if !k.rt {
+		in.Rt = 0
+	}
+	if !k.rd {
+		in.Rd = 0
+	}
+	if !k.sh {
+		in.Shamt = 0
+	}
+	if !k.imm {
+		in.Imm = 0
+	}
+	if !k.tgt {
+		in.Target = 0
+	}
+}

@@ -1,0 +1,80 @@
+package isa
+
+import "fmt"
+
+// Disassemble renders in as assembly text. pc is the instruction's own
+// address and is used to compute absolute branch targets; pass 0 to render
+// relative offsets instead.
+func Disassemble(in Inst, pc uint32) string {
+	r := func(n uint8) string { return GPRName[n] }
+	f := func(n uint8) string { return fmt.Sprintf("f%d", n) }
+	btarget := func() string {
+		if pc != 0 {
+			return fmt.Sprintf("0x%x", BranchTarget(pc, in.Imm))
+		}
+		return fmt.Sprintf(".%+d", in.Imm)
+	}
+	name := in.Op.String()
+	switch in.Op {
+	case OpInvalid:
+		return fmt.Sprintf(".word 0x%08x", in.Raw)
+	case OpSLL, OpSRL, OpSRA:
+		return fmt.Sprintf("%s %s, %s, %d", name, r(in.Rd), r(in.Rt), in.Shamt)
+	case OpSLLV, OpSRLV, OpSRAV:
+		return fmt.Sprintf("%s %s, %s, %s", name, r(in.Rd), r(in.Rt), r(in.Rs))
+	case OpJR:
+		return fmt.Sprintf("jr %s", r(in.Rs))
+	case OpJALR:
+		return fmt.Sprintf("jalr %s, %s", r(in.Rd), r(in.Rs))
+	case OpSYSCALL, OpBREAK, OpTLBR, OpTLBWI, OpTLBWR, OpTLBP, OpERET, OpWAIT:
+		return name
+	case OpMUL, OpDIV, OpREM, OpDIVU, OpREMU,
+		OpADD, OpADDU, OpSUB, OpSUBU, OpAND, OpOR, OpXOR, OpNOR, OpSLT, OpSLTU:
+		return fmt.Sprintf("%s %s, %s, %s", name, r(in.Rd), r(in.Rs), r(in.Rt))
+	case OpBLTZ, OpBGEZ, OpBLEZ, OpBGTZ:
+		return fmt.Sprintf("%s %s, %s", name, r(in.Rs), btarget())
+	case OpBEQ, OpBNE:
+		return fmt.Sprintf("%s %s, %s, %s", name, r(in.Rs), r(in.Rt), btarget())
+	case OpJ, OpJAL:
+		return fmt.Sprintf("%s 0x%x", name, in.Target)
+	case OpADDI, OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI:
+		return fmt.Sprintf("%s %s, %s, %d", name, r(in.Rt), r(in.Rs), in.Imm)
+	case OpLUI:
+		return fmt.Sprintf("lui %s, 0x%x", r(in.Rt), uint16(in.Imm))
+	case OpMFC0, OpMTC0:
+		return fmt.Sprintf("%s %s, $%d", name, r(in.Rt), in.Rd)
+	case OpMFC1, OpMTC1:
+		return fmt.Sprintf("%s %s, %s", name, r(in.Rt), f(in.Rs))
+	case OpBC1F, OpBC1T:
+		return fmt.Sprintf("%s %s", name, btarget())
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV:
+		return fmt.Sprintf("%s %s, %s, %s", name, f(in.Rd), f(in.Rs), f(in.Rt))
+	case OpFSQRT, OpFABS, OpFMOV, OpFNEG, OpCVTDW, OpCVTWD:
+		return fmt.Sprintf("%s %s, %s", name, f(in.Rd), f(in.Rs))
+	case OpFCEQ, OpFCLT, OpFCLE:
+		return fmt.Sprintf("%s %s, %s", name, f(in.Rs), f(in.Rt))
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU, OpSB, OpSH, OpSW, OpLL, OpSC:
+		return fmt.Sprintf("%s %s, %d(%s)", name, r(in.Rt), in.Imm, r(in.Rs))
+	case OpFLD, OpFSD:
+		return fmt.Sprintf("%s %s, %d(%s)", name, f(in.Rt), in.Imm, r(in.Rs))
+	case OpCACHE:
+		return fmt.Sprintf("cache %d, %d(%s)", in.Rt, in.Imm, r(in.Rs))
+	}
+	return name
+}
+
+// BranchTarget computes the absolute target of a conditional branch with
+// the given 16-bit word offset, taken from an instruction at pc.
+func BranchTarget(pc uint32, imm int32) uint32 {
+	return pc + 4 + uint32(imm)<<2
+}
+
+// BranchOffset computes the encodable word offset for a branch at pc to
+// target. It returns false if the displacement does not fit in 16 bits.
+func BranchOffset(pc, target uint32) (int32, bool) {
+	d := int32(target-pc-4) >> 2
+	if d < -0x8000 || d > 0x7FFF {
+		return 0, false
+	}
+	return d, true
+}

@@ -1,0 +1,199 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randInst builds a random but well-formed instruction for op.
+func randInst(r *rand.Rand, op Op) Inst {
+	in := Inst{Op: op}
+	reg := func() uint8 { return uint8(r.Intn(32)) }
+	in.Rs, in.Rt, in.Rd = reg(), reg(), reg()
+	in.Shamt = uint8(r.Intn(32))
+	in.Imm = int32(int16(r.Uint32()))
+	switch op {
+	case OpJ, OpJAL:
+		in.Target = (r.Uint32() & 0x03FF_FFFF) << 2
+		in.Rs, in.Rt, in.Rd, in.Shamt, in.Imm = 0, 0, 0, 0, 0
+	case OpANDI, OpORI, OpXORI, OpLUI:
+		in.Imm = int32(r.Uint32() & 0xFFFF)
+	case OpBLTZ, OpBLEZ, OpBGTZ:
+		in.Rt = 0
+	case OpBGEZ:
+		in.Rt = 1
+	case OpSYSCALL, OpBREAK, OpTLBR, OpTLBWI, OpTLBWR, OpTLBP, OpERET, OpWAIT:
+		in.Rs, in.Rt, in.Rd, in.Shamt, in.Imm = 0, 0, 0, 0, 0
+	case OpBC1F, OpBC1T:
+		in.Rs, in.Rt, in.Rd, in.Shamt = 0, 0, 0, 0
+	case OpSLL, OpSRL, OpSRA:
+		in.Rs, in.Imm = 0, 0
+	case OpSLLV, OpSRLV, OpSRAV,
+		OpADD, OpADDU, OpSUB, OpSUBU, OpAND, OpOR, OpXOR, OpNOR,
+		OpSLT, OpSLTU, OpMUL, OpDIV, OpREM, OpDIVU, OpREMU:
+		in.Shamt, in.Imm = 0, 0
+	case OpJR:
+		in.Rt, in.Rd, in.Shamt, in.Imm = 0, 0, 0, 0
+	case OpJALR:
+		in.Rt, in.Shamt, in.Imm = 0, 0, 0
+	case OpMFC0, OpMTC0, OpMFC1, OpMTC1:
+		in.Shamt, in.Imm = 0, 0
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV:
+		in.Shamt, in.Imm = 0, 0
+	case OpFSQRT, OpFABS, OpFMOV, OpFNEG, OpCVTDW, OpCVTWD:
+		in.Rt, in.Shamt, in.Imm = 0, 0, 0
+	case OpFCEQ, OpFCLT, OpFCLE:
+		in.Rd, in.Shamt, in.Imm = 0, 0, 0
+	}
+	if op != OpJ && op != OpJAL {
+		in.Target = 0
+	}
+	return in
+}
+
+// allEncodableOps lists every op that has a binary encoding.
+func allEncodableOps() []Op {
+	var out []Op
+	for op := OpSLL; op < opCount; op++ {
+		out = append(out, op)
+	}
+	return out
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, op := range allEncodableOps() {
+		for i := 0; i < 64; i++ {
+			in := randInst(r, op)
+			raw := Encode(in)
+			got := Decode(raw)
+			if got.Op != op {
+				t.Fatalf("op %v decoded as %v (raw=%08x)", op, got.Op, raw)
+			}
+			// Encode(Decode(raw)) must reproduce raw exactly, and the
+			// decoded form must be a fixpoint of decode∘encode.
+			raw2 := Encode(got)
+			if raw2 != raw {
+				t.Fatalf("op %v: encode(decode(%08x)) = %08x", op, raw, raw2)
+			}
+			got2 := Decode(raw2)
+			if got2 != got {
+				t.Fatalf("op %v: decode not canonical:\n a=%+v\n b=%+v", op, got, got2)
+			}
+		}
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	// An unused primary opcode must decode to OpInvalid.
+	if in := Decode(0x3F << 26); in.Op != OpInvalid {
+		t.Fatalf("expected OpInvalid, got %v", in.Op)
+	}
+	if in := Decode(0x0000003F); in.Op != OpInvalid { // SPECIAL funct 0x3F unused
+		t.Fatalf("expected OpInvalid, got %v", in.Op)
+	}
+}
+
+func TestDecodeIsTotalProperty(t *testing.T) {
+	// Decode must never panic and re-encoding a decodable word must decode
+	// to the same instruction (idempotence of the decode-encode-decode
+	// loop).
+	f := func(raw uint32) bool {
+		in := Decode(raw)
+		if in.Op == OpInvalid {
+			return true
+		}
+		raw2 := Encode(in)
+		in2 := Decode(raw2)
+		in.Raw = raw2
+		return in2 == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBranchTargetOffsetInverse(t *testing.T) {
+	f := func(pcSeed uint32, off int16) bool {
+		pc := pcSeed &^ 3
+		target := BranchTarget(pc, int32(off))
+		got, ok := BranchOffset(pc, target)
+		return ok && got == int32(off)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsesDefs(t *testing.T) {
+	cases := []struct {
+		src  string
+		uses []uint8
+		defs []uint8
+	}{
+		{"add t0, t1, t2", []uint8{RegT1, RegT2}, []uint8{RegT0}},
+		{"addiu sp, sp, -16", []uint8{RegSP}, []uint8{RegSP}},
+		{"lw v0, 4(sp)", []uint8{RegSP}, []uint8{RegV0}},
+		{"sw v0, 4(sp)", []uint8{RegSP, RegV0}, nil},
+		{"jal 0x1000", nil, []uint8{RegRA}},
+		{"jr ra", []uint8{RegRA}, nil},
+		{"lui t0, 0x8000", nil, []uint8{RegT0}},
+		{"fadd f2, f4, f6", []uint8{32 + 4, 32 + 6}, []uint8{32 + 2}},
+		{"c.lt f0, f2", []uint8{32 + 0, 32 + 2}, []uint8{depFCC}},
+		{"bc1t main", []uint8{depFCC}, nil},
+		{"mtc0 k0, $status", []uint8{RegK0}, nil},
+		{"mfc0 k0, $cause", nil, []uint8{RegK0}},
+		{"sll zero, zero, 0", nil, nil}, // nop: r0 never reported
+	}
+	for _, tc := range cases {
+		p, err := Assemble("main:\n" + tc.src + "\n")
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		raw := uint32(p.Segments[0].Data[0]) | uint32(p.Segments[0].Data[1])<<8 |
+			uint32(p.Segments[0].Data[2])<<16 | uint32(p.Segments[0].Data[3])<<24
+		in := Decode(raw)
+		uses := in.Uses(nil)
+		defs := in.Defs(nil)
+		if !equalU8(uses, tc.uses) {
+			t.Errorf("%s: uses = %v, want %v", tc.src, uses, tc.uses)
+		}
+		if !equalU8(defs, tc.defs) {
+			t.Errorf("%s: defs = %v, want %v", tc.src, defs, tc.defs)
+		}
+	}
+}
+
+func equalU8(a, b []uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInstClassPredicates(t *testing.T) {
+	ld := Decode(Encode(Inst{Op: OpLW, Rt: 2, Rs: 29, Imm: 4}))
+	if !ld.IsLoad() || ld.IsStore() || ld.MemSize() != 4 {
+		t.Fatalf("lw predicates wrong: %+v", ld)
+	}
+	st := Decode(Encode(Inst{Op: OpFSD, Rt: 2, Rs: 29, Imm: 8}))
+	if st.IsLoad() || !st.IsStore() || st.MemSize() != 8 {
+		t.Fatalf("fsd predicates wrong: %+v", st)
+	}
+	br := Decode(Encode(Inst{Op: OpBNE, Rs: 1, Rt: 2, Imm: -1}))
+	if !br.IsBranch() || !br.IsControl() {
+		t.Fatalf("bne predicates wrong: %+v", br)
+	}
+	if !Decode(Encode(Inst{Op: OpERET})).IsControl() {
+		t.Fatal("eret must be control")
+	}
+	if !InfoOf(OpMTC0).Serializing || InfoOf(OpADDU).Serializing {
+		t.Fatal("serializing flags wrong")
+	}
+}

@@ -1,0 +1,142 @@
+package kern
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"softwatt/internal/isa"
+)
+
+// Image is the assembled kernel plus the metadata the machine needs to run
+// and attribute it.
+type Image struct {
+	Program *isa.Program
+	Symbols map[string]uint32
+	// SyncBegin/SyncEnd delimit the kernel-sync PC range (spinlock code);
+	// cycles with the PC inside [SyncBegin, SyncEnd) are attributed to the
+	// paper's "kernel sync" mode.
+	SyncBegin uint32
+	SyncEnd   uint32
+}
+
+// Build assembles the kernel.
+func Build() (*Image, error) {
+	p, err := isa.Assemble(Source())
+	if err != nil {
+		return nil, fmt.Errorf("kern: assembling kernel: %w", err)
+	}
+	img := &Image{Program: p, Symbols: p.Symbols}
+	var ok1, ok2 bool
+	img.SyncBegin, ok1 = p.Symbols["sync_begin"]
+	img.SyncEnd, ok2 = p.Symbols["sync_end"]
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("kern: sync range symbols missing")
+	}
+	return img, nil
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild() *Image {
+	img, err := Build()
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+// File describes one file placed on the simulated disk.
+type File struct {
+	Name string
+	Data []byte
+}
+
+// BuildDiskImage lays out a directory plus file contents into a disk image
+// buffer. Files are placed contiguously on block boundaries after the
+// directory. Returns an error when a name is too long or space runs out.
+func BuildDiskImage(img []byte, files []File) error {
+	if len(img) < DirSectors*SectorSize {
+		return fmt.Errorf("kern: disk image too small for directory")
+	}
+	for i := range img[:DirSectors*SectorSize] {
+		img[i] = 0
+	}
+	if len(files) > MaxDirEntries {
+		return fmt.Errorf("kern: too many files (%d > %d)", len(files), MaxDirEntries)
+	}
+	// Deterministic layout: keep caller order, but validate unique names.
+	seen := make(map[string]bool)
+	sector := uint32(DataStartBlock * SectorsPerBlk)
+	for i, f := range files {
+		if len(f.Name) == 0 || len(f.Name) >= DirNameLen {
+			return fmt.Errorf("kern: bad file name %q", f.Name)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("kern: duplicate file name %q", f.Name)
+		}
+		seen[f.Name] = true
+		blocks := (len(f.Data) + BlockSize - 1) / BlockSize
+		end := (int(sector) + blocks*SectorsPerBlk) * SectorSize
+		if end > len(img) {
+			return fmt.Errorf("kern: disk image full placing %q", f.Name)
+		}
+		ent := img[i*DirEntrySize:]
+		copy(ent[:DirNameLen], f.Name)
+		binary.LittleEndian.PutUint32(ent[24:], sector)
+		binary.LittleEndian.PutUint32(ent[28:], uint32(len(f.Data)))
+		copy(img[int(sector)*SectorSize:], f.Data)
+		sector += uint32(blocks * SectorsPerBlk)
+	}
+	return nil
+}
+
+// EncodeBootInfo serialises bi in the layout the kernel assembly expects.
+func EncodeBootInfo(bi BootInfo) []byte {
+	buf := make([]byte, 32)
+	binary.LittleEndian.PutUint32(buf[biMagic:], bi.Magic)
+	binary.LittleEndian.PutUint32(buf[biEntry:], bi.Entry)
+	binary.LittleEndian.PutUint32(buf[biImgVA:], bi.ImgVABase)
+	binary.LittleEndian.PutUint32(buf[biImgPages:], bi.ImgPages)
+	binary.LittleEndian.PutUint32(buf[biUserPhys:], bi.UserPhysBase)
+	binary.LittleEndian.PutUint32(buf[biBrkBase:], bi.BrkBase)
+	binary.LittleEndian.PutUint32(buf[biTimer:], bi.TimerCycles)
+	binary.LittleEndian.PutUint32(buf[biFlags:], bi.Flags)
+	return buf
+}
+
+// SyscallNames maps syscall numbers to names (diagnostics).
+var SyscallNames = map[int]string{
+	SysExit: "exit", SysOpen: "open", SysClose: "close", SysRead: "read",
+	SysWrite: "write", SysSbrk: "sbrk", SysGettime: "gettime",
+	SysCacheflush: "cacheflush", SysXstat: "xstat", SysYield: "yield",
+}
+
+// SortedSymbolNames returns the kernel symbols sorted by address, useful
+// for building a PC → routine mapping in diagnostics.
+func (im *Image) SortedSymbolNames() []string {
+	names := make([]string, 0, len(im.Symbols))
+	for n := range im.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := im.Symbols[names[i]], im.Symbols[names[j]]
+		if a != b {
+			return a < b
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// FindRoutine returns the name of the kernel routine containing pc (the
+// nearest symbol at or below it), or "" when pc is outside the kernel.
+func (im *Image) FindRoutine(pc uint32) string {
+	best := ""
+	var bestAddr uint32
+	for n, a := range im.Symbols {
+		if a <= pc && (best == "" || a > bestAddr) {
+			best, bestAddr = n, a
+		}
+	}
+	return best
+}

@@ -1,0 +1,140 @@
+package kern
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestKernelAssembles(t *testing.T) {
+	img, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Program.Size() < 100000 {
+		t.Fatalf("kernel suspiciously small: %d bytes", img.Program.Size())
+	}
+	// The exception vectors must exist at their architectural addresses.
+	var haveUTLB, haveGeneral bool
+	for _, seg := range img.Program.Segments {
+		if seg.Addr == 0x8000_0000 {
+			haveUTLB = true
+		}
+		if seg.Addr == 0x8000_0080 {
+			haveGeneral = true
+		}
+	}
+	if !haveUTLB || !haveGeneral {
+		t.Fatal("exception vectors missing")
+	}
+	if img.SyncBegin == 0 || img.SyncEnd <= img.SyncBegin {
+		t.Fatalf("sync range invalid: %#x..%#x", img.SyncBegin, img.SyncEnd)
+	}
+	// Key routines must be present.
+	for _, sym := range []string{"kstart", "general_entry", "trap_return",
+		"sched", "swtch", "idle_loop", "sys_read", "sys_write", "sys_open",
+		"fc_getblock", "disk_io", "vfault", "kseg2_alloc", "exec_user",
+		"zp_fill_one", "zp_pop", "bzero", "bcopy"} {
+		if _, ok := img.Symbols[sym]; !ok {
+			t.Errorf("symbol %s missing", sym)
+		}
+	}
+}
+
+func TestSyncRangeCoversLocks(t *testing.T) {
+	img := MustBuild()
+	la, lr := img.Symbols["lock_acquire"], img.Symbols["lock_release"]
+	if la < img.SyncBegin || la >= img.SyncEnd || lr < img.SyncBegin || lr >= img.SyncEnd {
+		t.Fatalf("locks outside sync range: acquire=%#x release=%#x range=%#x..%#x",
+			la, lr, img.SyncBegin, img.SyncEnd)
+	}
+}
+
+func TestFindRoutine(t *testing.T) {
+	img := MustBuild()
+	pc := img.Symbols["sys_read"] + 8
+	if got := img.FindRoutine(pc); got != "sys_read" {
+		t.Fatalf("FindRoutine(%#x) = %q", pc, got)
+	}
+	// (.equ constants share the symbol table, so low addresses resolve to
+	// constant names; only code addresses are meaningful inputs.)
+	names := img.SortedSymbolNames()
+	if len(names) < 50 {
+		t.Fatalf("only %d symbols", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if img.Symbols[names[i]] < img.Symbols[names[i-1]] {
+			t.Fatal("symbols not address sorted")
+		}
+	}
+}
+
+func TestBuildDiskImage(t *testing.T) {
+	img := make([]byte, 1<<20)
+	files := []File{
+		{Name: "a.dat", Data: []byte("hello")},
+		{Name: "b.dat", Data: make([]byte, 10000)},
+	}
+	if err := BuildDiskImage(img, files); err != nil {
+		t.Fatal(err)
+	}
+	// Directory entry 0: name + start + size.
+	if got := string(img[:5]); got != "a.dat" {
+		t.Fatalf("entry name %q", got)
+	}
+	start := binary.LittleEndian.Uint32(img[24:])
+	size := binary.LittleEndian.Uint32(img[28:])
+	if size != 5 {
+		t.Fatalf("size %d", size)
+	}
+	if got := string(img[start*SectorSize : start*SectorSize+5]); got != "hello" {
+		t.Fatalf("content %q", got)
+	}
+	// Entry 1 starts on a block boundary after entry 0's blocks.
+	start2 := binary.LittleEndian.Uint32(img[DirEntrySize+24:])
+	if (start2-start)%SectorsPerBlk != 0 || start2 <= start {
+		t.Fatalf("layout: %d then %d", start, start2)
+	}
+}
+
+func TestBuildDiskImageErrors(t *testing.T) {
+	img := make([]byte, 1<<20)
+	if err := BuildDiskImage(img, []File{{Name: "", Data: nil}}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := BuildDiskImage(img, []File{{Name: strings.Repeat("x", 40)}}); err == nil {
+		t.Fatal("long name accepted")
+	}
+	if err := BuildDiskImage(img, []File{
+		{Name: "dup", Data: []byte("1")}, {Name: "dup", Data: []byte("2")},
+	}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := BuildDiskImage(img, []File{{Name: "big", Data: make([]byte, 2<<20)}}); err == nil {
+		t.Fatal("oversized file accepted")
+	}
+	if err := BuildDiskImage(make([]byte, 100), nil); err == nil {
+		t.Fatal("tiny image accepted")
+	}
+}
+
+func TestBootInfoRoundTrip(t *testing.T) {
+	bi := BootInfo{
+		Magic: BootMagic, Entry: 0x400000, ImgVABase: 0x400000,
+		ImgPages: 3, UserPhysBase: PhysUserImg, BrkBase: 0x403000,
+		TimerCycles: 12345,
+	}
+	buf := EncodeBootInfo(bi)
+	if binary.LittleEndian.Uint32(buf[0:]) != BootMagic {
+		t.Fatal("magic wrong")
+	}
+	if binary.LittleEndian.Uint32(buf[24:]) != 12345 {
+		t.Fatal("timer field wrong")
+	}
+}
+
+func TestSyscallNames(t *testing.T) {
+	if SyscallNames[SysRead] != "read" || SyscallNames[SysCacheflush] != "cacheflush" {
+		t.Fatal("syscall names wrong")
+	}
+}

@@ -1,0 +1,543 @@
+// Package machine assembles the complete simulated computer: the M32
+// functional core, a timing model (Mipsy or MXS), the cache hierarchy, the
+// disk with its power-mode state machine, the MMIO devices (console,
+// simulator annotation port, disk controller, timer), and the pkos kernel.
+// It owns the run loop and the software attribution machinery: every cycle
+// and every structure access is tagged with the current execution mode and
+// kernel service, mirroring how SoftWatt instruments SimOS.
+package machine
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"softwatt/internal/arch"
+	"softwatt/internal/cpu/mipsy"
+	"softwatt/internal/cpu/mxs"
+	"softwatt/internal/disk"
+	"softwatt/internal/isa"
+	"softwatt/internal/kern"
+	"softwatt/internal/mem"
+	"softwatt/internal/trace"
+)
+
+// CoreKind selects the CPU timing model.
+type CoreKind uint8
+
+// Timing models.
+const (
+	CoreMipsy CoreKind = iota // in-order single issue, blocking caches
+	CoreMXS                   // 4-wide out-of-order (R10000-like)
+	CoreMXS1                  // MXS configured single-issue (paper Figure 3)
+)
+
+func (k CoreKind) String() string {
+	switch k {
+	case CoreMipsy:
+		return "mipsy"
+	case CoreMXS:
+		return "mxs"
+	case CoreMXS1:
+		return "mxs1"
+	}
+	return "unknown"
+}
+
+// Core is a CPU timing model driving the functional core.
+type Core interface {
+	// Tick advances the pipeline by one cycle, invoking commit (in program
+	// order) for every instruction that architecturally completes.
+	Tick(cycle uint64, commit func(*arch.StepInfo))
+}
+
+// Config describes one machine instance.
+type Config struct {
+	Core         CoreKind
+	RAMBytes     int
+	Hier         mem.HierConfig
+	Disk         disk.Config
+	WindowCycles uint64 // statistics sample window
+	TimerCycles  uint32 // clock tick period (0 = off)
+	MaxCycles    uint64 // run-away guard
+	ClockHz      float64
+	// IdleHalt makes the kernel's idle loop halt the CPU with WAIT instead
+	// of busy-waiting — the paper's §5 proposed idle-energy optimization.
+	IdleHalt bool
+}
+
+// DefaultConfig returns the paper's Table 1 system.
+func DefaultConfig() Config {
+	return Config{
+		Core:         CoreMipsy,
+		RAMBytes:     128 << 20,
+		Hier:         mem.DefaultHierConfig(),
+		Disk:         disk.DefaultConfig(),
+		WindowCycles: 20000,
+		TimerCycles:  100000,
+		MaxCycles:    2_000_000_000,
+		ClockHz:      200e6,
+	}
+}
+
+// Workload is a user program plus its file-system contents.
+type Workload struct {
+	Name    string
+	Program *isa.Program // user image; segments must live in useg
+	Entry   uint32
+	Files   []kern.File
+}
+
+// Machine is one complete simulated computer.
+type Machine struct {
+	cfg  Config
+	ram  *mem.RAM
+	hier *mem.Hierarchy
+	cpu  *arch.CPU
+	core Core
+	dsk  *disk.Disk
+	col  *trace.Collector
+	kimg *kern.Image
+
+	cycle     uint64
+	halted    bool
+	exitCode  uint32
+	console   bytes.Buffer
+	intValues []uint32 // SimPutInt debug stream
+
+	curPid    uint32
+	svcStacks map[uint32][]trace.Svc
+
+	// latched disk controller registers
+	dcSector, dcCount, dcDMA uint32
+
+	timerNext uint64
+	commit    func(*arch.StepInfo) // bound once; avoids per-cycle allocation
+
+	// Committed counts committed instructions (excluding bubbles).
+	Committed uint64
+	// Faults counts exceptions by code (diagnostics).
+	Faults [32]uint64
+
+	// DebugStep, when set, observes every committed instruction.
+	DebugStep func(cycle uint64, info *arch.StepInfo)
+}
+
+// New builds a machine, loads the kernel, and stages the workload. The
+// machine is ready to Run.
+func New(cfg Config, w Workload) (*Machine, error) {
+	if cfg.RAMBytes <= 0 {
+		cfg.RAMBytes = 128 << 20
+	}
+	if cfg.ClockHz == 0 {
+		cfg.ClockHz = 200e6
+	}
+	cfg.Disk.ClockHz = cfg.ClockHz
+	m := &Machine{
+		cfg:       cfg,
+		ram:       mem.NewRAM(cfg.RAMBytes),
+		hier:      mem.NewHierarchy(cfg.Hier),
+		col:       trace.NewCollector(cfg.WindowCycles),
+		svcStacks: map[uint32][]trace.Svc{0: {}},
+	}
+	m.dsk = disk.New(cfg.Disk, m.diskComplete)
+
+	kimg, err := kern.Build()
+	if err != nil {
+		return nil, err
+	}
+	m.kimg = kimg
+	for _, seg := range kimg.Program.Segments {
+		m.ram.LoadSegment(kseg0Phys(seg.Addr), seg.Data)
+	}
+
+	// Stage the user image into physical memory.
+	if w.Program == nil {
+		return nil, fmt.Errorf("machine: workload has no program")
+	}
+	lo, hi := uint32(math.MaxUint32), uint32(0)
+	for _, seg := range w.Program.Segments {
+		if seg.Addr >= isa.KUSEGTop {
+			return nil, fmt.Errorf("machine: workload segment at %#x outside useg", seg.Addr)
+		}
+		if seg.Addr < lo {
+			lo = seg.Addr
+		}
+		if e := seg.Addr + uint32(len(seg.Data)); e > hi {
+			hi = e
+		}
+	}
+	lo &^= isa.PageSize - 1
+	hi = (hi + isa.PageSize - 1) &^ (isa.PageSize - 1)
+	for _, seg := range w.Program.Segments {
+		m.ram.LoadSegment(kern.PhysUserImg+(seg.Addr-lo), seg.Data)
+	}
+	pages := (hi - lo) / isa.PageSize
+
+	bi := kern.BootInfo{
+		Magic:        kern.BootMagic,
+		Entry:        w.Entry,
+		ImgVABase:    lo,
+		ImgPages:     pages,
+		UserPhysBase: kern.PhysUserImg,
+		BrkBase:      hi,
+		TimerCycles:  cfg.TimerCycles,
+	}
+	if cfg.IdleHalt {
+		bi.Flags |= kern.BootFlagIdleWait
+	}
+	m.ram.LoadSegment(kern.PhysBootInfo, kern.EncodeBootInfo(bi))
+
+	// Disk contents (the file store).
+	if err := kern.BuildDiskImage(m.dsk.Image(), w.Files); err != nil {
+		return nil, err
+	}
+
+	m.cpu = arch.New(m)
+	switch cfg.Core {
+	case CoreMipsy:
+		m.core = mipsy.New(m.cpu, m.hier, m.col)
+	case CoreMXS:
+		m.core = mxs.New(m.cpu, m.hier, m.col, m, mxs.DefaultConfig())
+	case CoreMXS1:
+		c := mxs.DefaultConfig()
+		c.FetchWidth, c.IssueWidth, c.CommitWidth = 1, 1, 1
+		c.IntUnits, c.FPUnits = 1, 1
+		m.core = mxs.New(m.cpu, m.hier, m.col, m, c)
+	default:
+		return nil, fmt.Errorf("machine: unknown core kind %d", cfg.Core)
+	}
+	m.timerNext = math.MaxUint64 // armed when the kernel writes the interval
+	m.commit = m.commitFn
+	return m, nil
+}
+
+// NewWithMXSWindow builds a machine whose MXS core uses a custom
+// instruction-window size (for ablation studies).
+func NewWithMXSWindow(cfg Config, w Workload, window int) (*Machine, error) {
+	cfg.Core = CoreMXS
+	m, err := New(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	c := mxs.DefaultConfig()
+	c.WindowSize = window
+	if c.LSQSize > window {
+		c.LSQSize = window
+	}
+	m.core = mxs.New(m.cpu, m.hier, m.col, m, c)
+	return m, nil
+}
+
+func kseg0Phys(va uint32) uint32 {
+	if va >= isa.KSEG0Base && va < isa.KSEG1Base {
+		return va - isa.KSEG0Base
+	}
+	return va
+}
+
+// Collector exposes the statistics collector (for the estimator).
+func (m *Machine) Collector() *trace.Collector { return m.col }
+
+// Disk exposes the disk (for energy and policy statistics).
+func (m *Machine) Disk() *disk.Disk { return m.dsk }
+
+// Hierarchy exposes the cache hierarchy.
+func (m *Machine) Hierarchy() *mem.Hierarchy { return m.hier }
+
+// CPU exposes the functional core (tests and diagnostics).
+func (m *Machine) CPU() *arch.CPU { return m.cpu }
+
+// Kernel exposes the assembled kernel image.
+func (m *Machine) Kernel() *kern.Image { return m.kimg }
+
+// Console returns everything the kernel and workload wrote to the console.
+func (m *Machine) Console() string { return m.console.String() }
+
+// IntValues returns the debug integers written to the putint port.
+func (m *Machine) IntValues() []uint32 { return m.intValues }
+
+// ExitCode returns the halt value (valid after Run).
+func (m *Machine) ExitCode() uint32 { return m.exitCode }
+
+// Halted reports whether the workload has exited.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Cycle returns the current cycle.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Run simulates until the workload halts the machine or maxCycles elapse
+// (0 = use the config's MaxCycles).
+func (m *Machine) Run(maxCycles uint64) error {
+	if maxCycles == 0 {
+		maxCycles = m.cfg.MaxCycles
+	}
+	limit := m.cycle + maxCycles
+	for !m.halted && m.cycle < limit {
+		// Device time.
+		if m.cycle >= m.dsk.NextEvent() {
+			m.dsk.Advance(m.cycle)
+			if m.dsk.IRQPending() {
+				m.cpu.SetIRQ(isa.IntDisk, true)
+			}
+		}
+		if m.cycle >= m.timerNext {
+			m.cpu.SetIRQ(isa.IntTimer, true)
+		}
+
+		m.core.Tick(m.cycle, m.commit)
+		m.col.AddCycles(1)
+		m.cycle++
+	}
+	if !m.halted {
+		return fmt.Errorf("machine: %s did not halt within %d cycles (pc=%08x)",
+			m.cfg.Core, maxCycles, m.cpu.PC)
+	}
+	m.dsk.FinishEnergy(m.cycle)
+	return nil
+}
+
+// svcFor classifies an exception into a kernel service.
+func (m *Machine) svcFor(info *arch.StepInfo) trace.Svc {
+	switch info.ExcCode {
+	case isa.ExcInt:
+		if m.cpu.IP&(1<<isa.IntTimer) != 0 {
+			return trace.SvcClock
+		}
+		return trace.SvcDuPoll
+	case isa.ExcSyscall:
+		switch m.cpu.GPR[isa.RegV0] {
+		case kern.SysRead:
+			return trace.SvcRead
+		case kern.SysWrite:
+			return trace.SvcWrite
+		case kern.SysOpen:
+			return trace.SvcOpen
+		case kern.SysXstat:
+			return trace.SvcXStat
+		case kern.SysCacheflush:
+			return trace.SvcCacheFlush
+		default:
+			return trace.SvcBSD
+		}
+	case isa.ExcTLBL, isa.ExcTLBS, isa.ExcTLBMod:
+		if info.NextPC == isa.VecUTLB {
+			return trace.SvcUTLB
+		}
+		return trace.SvcVFault
+	default:
+		return trace.SvcBSD
+	}
+}
+
+// commitFn is passed to the core's Tick; bound once to avoid per-cycle
+// closure allocation.
+func (m *Machine) commitFn(info *arch.StepInfo) { m.attribute(info) }
+
+// attribute updates the software context from one committed instruction.
+func (m *Machine) attribute(info *arch.StepInfo) {
+	if m.DebugStep != nil {
+		m.DebugStep(m.cycle, info)
+	}
+	if info.Halted {
+		return
+	}
+	if !info.Waiting {
+		m.Committed++
+	}
+	if info.TookException {
+		m.Faults[info.ExcCode]++
+		if info.NestedExc {
+			// The interrupted handler is abandoned (EPC unchanged): the
+			// original fault will re-enter it from scratch, so fold its
+			// partial activity without emitting an invocation sample.
+			m.abortSvc()
+		}
+		if !info.KernelMode {
+			// A user-mode fault implies no kernel service can be active
+			// for this process; fold any leftovers defensively.
+			for len(m.svcStacks[m.curPid]) > 0 {
+				m.popSvc()
+			}
+		}
+		svc := m.svcFor(info)
+		m.pushSvc(svc)
+	} else if info.Inst.Op == isa.OpERET {
+		m.popSvc()
+	}
+	m.refreshContext(info.KernelMode, info.PC)
+}
+
+func (m *Machine) stack() []trace.Svc { return m.svcStacks[m.curPid] }
+
+func (m *Machine) pushSvc(s trace.Svc) {
+	m.svcStacks[m.curPid] = append(m.svcStacks[m.curPid], s)
+	m.col.BeginInvocation(s)
+}
+
+func (m *Machine) popSvc() {
+	st := m.svcStacks[m.curPid]
+	if len(st) == 0 {
+		return
+	}
+	s := st[len(st)-1]
+	m.svcStacks[m.curPid] = st[:len(st)-1]
+	m.col.EndInvocation(s)
+}
+
+func (m *Machine) abortSvc() {
+	st := m.svcStacks[m.curPid]
+	if len(st) == 0 {
+		return
+	}
+	s := st[len(st)-1]
+	m.svcStacks[m.curPid] = st[:len(st)-1]
+	m.col.AbortInvocation(s)
+}
+
+func (m *Machine) topSvc() trace.Svc {
+	st := m.svcStacks[m.curPid]
+	if len(st) == 0 {
+		return trace.SvcNone
+	}
+	return st[len(st)-1]
+}
+
+// refreshContext recomputes the attribution context.
+func (m *Machine) refreshContext(kernelMode bool, pc uint32) {
+	svc := m.topSvc()
+	var mode trace.Mode
+	switch {
+	case !kernelMode:
+		mode = trace.ModeUser
+	case pc >= m.kimg.SyncBegin && pc < m.kimg.SyncEnd:
+		mode = trace.ModeSync
+	case m.curPid == 0 && svc == trace.SvcNone:
+		mode = trace.ModeIdle
+	default:
+		mode = trace.ModeKernel
+	}
+	m.col.SetContext(mode, svc)
+}
+
+// ---------------------------------------------------------------------------
+// arch.Bus: physical memory + MMIO dispatch
+// ---------------------------------------------------------------------------
+
+// ReadPhys implements arch.Bus.
+func (m *Machine) ReadPhys(pa uint32, size int) uint64 {
+	if pa >= kern.MMIOBase && pa < kern.MMIOBase+0x1000 {
+		return m.mmioRead(pa)
+	}
+	return m.ram.Read(pa, size)
+}
+
+// WritePhys implements arch.Bus.
+func (m *Machine) WritePhys(pa uint32, size int, v uint64) {
+	if pa >= kern.MMIOBase && pa < kern.MMIOBase+0x1000 {
+		m.mmioWrite(pa, uint32(v))
+		return
+	}
+	m.ram.Write(pa, size, v)
+}
+
+func (m *Machine) mmioRead(pa uint32) uint64 {
+	switch pa {
+	case kern.DiskStatus:
+		var v uint64
+		m.dsk.Advance(m.cycle)
+		if m.dsk.Busy() {
+			v |= 1
+		}
+		if m.dsk.IRQPending() {
+			v |= 2
+		}
+		return v
+	}
+	return 0
+}
+
+func (m *Machine) mmioWrite(pa, v uint32) {
+	switch pa {
+	case kern.SimPutChar:
+		m.console.WriteByte(byte(v))
+	case kern.SimPutInt:
+		m.intValues = append(m.intValues, v)
+	case kern.SimHalt:
+		m.exitCode = v
+		m.halted = true
+		m.cpu.Halt()
+	case kern.SimCurPid:
+		m.curPid = v
+		if _, ok := m.svcStacks[v]; !ok {
+			m.svcStacks[v] = []trace.Svc{}
+		}
+	case kern.SimSvcPush:
+		if v < uint32(trace.NumSvc) {
+			m.pushSvc(trace.Svc(v))
+			m.refreshContext(true, m.cpu.PC)
+		}
+	case kern.SimSvcPop:
+		m.popSvc()
+		m.refreshContext(true, m.cpu.PC)
+	case kern.SimSvcRecls:
+		st := m.svcStacks[m.curPid]
+		if len(st) > 0 && v < uint32(trace.NumSvc) {
+			st[len(st)-1] = trace.Svc(v)
+			m.refreshContext(true, m.cpu.PC)
+		}
+	case kern.DiskSector:
+		m.dcSector = v
+	case kern.DiskCount:
+		m.dcCount = v
+	case kern.DiskDMA:
+		m.dcDMA = v
+	case kern.DiskCmd:
+		m.diskCommand(v)
+	case kern.DiskAck:
+		m.dsk.AckIRQ()
+		m.cpu.SetIRQ(isa.IntDisk, false)
+	case kern.TimerInterval:
+		if v == 0 {
+			m.timerNext = math.MaxUint64
+		} else {
+			m.timerNext = m.cycle + uint64(v)
+		}
+	case kern.TimerAck:
+		m.cpu.SetIRQ(isa.IntTimer, false)
+		if m.cfg.TimerCycles > 0 {
+			m.timerNext = m.cycle + uint64(m.cfg.TimerCycles)
+		}
+	}
+}
+
+func (m *Machine) diskCommand(cmd uint32) {
+	switch cmd {
+	case kern.DiskCmdRead, kern.DiskCmdWrite:
+		req := disk.Request{
+			Write:   cmd == kern.DiskCmdWrite,
+			Sector:  m.dcSector,
+			Count:   m.dcCount,
+			DMAAddr: m.dcDMA,
+		}
+		if _, err := m.dsk.Submit(m.cycle, req); err != nil {
+			// Hardware-style error: raise the IRQ immediately so the
+			// kernel does not deadlock; diagnostics via console.
+			fmt.Fprintf(&m.console, "[disk error: %v]\n", err)
+			m.cpu.SetIRQ(isa.IntDisk, true)
+		}
+	case kern.DiskCmdSleep:
+		_ = m.dsk.Sleep(m.cycle)
+	}
+}
+
+// diskComplete is the DMA + IRQ callback at request completion.
+func (m *Machine) diskComplete(req disk.Request) {
+	n := int(req.Count) * disk.SectorSize
+	if req.Write {
+		m.dsk.Write(req.Sector, m.ram.Bytes()[req.DMAAddr:int(req.DMAAddr)+n])
+	} else {
+		m.dsk.Read(req.Sector, m.ram.Bytes()[req.DMAAddr:int(req.DMAAddr)+n])
+	}
+	m.cpu.SetIRQ(isa.IntDisk, true)
+}

@@ -1,0 +1,342 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"softwatt/internal/disk"
+	"softwatt/internal/isa"
+	"softwatt/internal/kern"
+	"softwatt/internal/trace"
+)
+
+// buildWorkload assembles a user program at the standard text base.
+func buildWorkload(t *testing.T, name, src string, files []kern.File) Workload {
+	t.Helper()
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatalf("workload %s: %v", name, err)
+	}
+	return Workload{Name: name, Program: p, Entry: p.Symbols["_start"], Files: files}
+}
+
+const helloSrc = `
+        .org 0x00400000
+_start:
+        la   a0, msg          # write(1, msg, 14)
+        li   a1, 14
+        move a2, a1
+        move a1, a0
+        li   a0, 1
+        li   v0, 5
+        syscall
+        li   a0, 0            # exit(0)
+        li   v0, 1
+        syscall
+msg:    .asciiz "hello, world\n"
+`
+
+func testConfig(core CoreKind) Config {
+	cfg := DefaultConfig()
+	cfg.Core = core
+	cfg.RAMBytes = 64 << 20
+	cfg.TimerCycles = 50000
+	cfg.MaxCycles = 50_000_000
+	return cfg
+}
+
+func TestBootAndHelloMipsy(t *testing.T) {
+	w := buildWorkload(t, "hello", helloSrc, nil)
+	m, err := New(testConfig(CoreMipsy), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatalf("%v; console: %q", err, m.Console())
+	}
+	if got := m.Console(); !strings.Contains(got, "hello, world") {
+		t.Fatalf("console = %q", got)
+	}
+	if m.ExitCode() != 0 {
+		t.Fatalf("exit code %d", m.ExitCode())
+	}
+}
+
+func TestBootAndHelloMXS(t *testing.T) {
+	w := buildWorkload(t, "hello", helloSrc, nil)
+	m, err := New(testConfig(CoreMXS), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatalf("%v; console: %q", err, m.Console())
+	}
+	if got := m.Console(); !strings.Contains(got, "hello, world") {
+		t.Fatalf("console = %q", got)
+	}
+}
+
+// fileSrc opens a file from the simulated disk, reads it, and echoes the
+// first bytes to the console, exercising open/read/disk DMA/file cache.
+const fileSrc = `
+        .org 0x00400000
+_start:
+        la   a0, fname        # fd = open("data.bin")
+        li   v0, 2
+        syscall
+        bltz v0, fail
+        move s0, v0
+        move a0, s0           # read(fd, buf, 16)
+        la   a1, buf
+        li   a2, 16
+        li   v0, 4
+        syscall
+        li   t0, 16
+        bne  v0, t0, fail
+        li   a0, 1            # write(1, buf, 16)
+        la   a1, buf
+        li   a2, 16
+        li   v0, 5
+        syscall
+        move a0, s0           # close(fd)
+        li   v0, 3
+        syscall
+        li   a0, 0
+        li   v0, 1
+        syscall
+fail:
+        li   a0, 1
+        li   v0, 1
+        syscall
+fname:  .asciiz "data.bin"
+        .align 4
+buf:    .space 32
+`
+
+func TestOpenReadFromDisk(t *testing.T) {
+	data := []byte("0123456789abcdefGHIJ")
+	w := buildWorkload(t, "file", fileSrc, nil)
+	w.Files = append(w.Files, kernFile("data.bin", data))
+	m, err := New(testConfig(CoreMipsy), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatalf("%v; console: %q; faults: %v", err, m.Console(), m.Faults)
+	}
+	if m.ExitCode() != 0 {
+		t.Fatalf("exit code %d; console %q", m.ExitCode(), m.Console())
+	}
+	if got := m.Console(); !strings.Contains(got, "0123456789abcdef") {
+		t.Fatalf("console = %q", got)
+	}
+	// The read went to the disk: the disk must have serviced requests and
+	// the read + open services must have activity.
+	if m.Disk().Stats().Reads == 0 {
+		t.Fatal("no disk reads recorded")
+	}
+	col := m.Collector()
+	if col.ServiceStats(trace.SvcOpen).Invocations == 0 {
+		t.Fatal("open service never invoked")
+	}
+	if col.ServiceStats(trace.SvcRead).Invocations == 0 {
+		t.Fatal("read service never invoked")
+	}
+	// Blocking I/O must have produced idle cycles.
+	totals := col.ModeTotals()
+	if totals[trace.ModeIdle].Cycles == 0 {
+		t.Fatal("no idle cycles despite blocking disk I/O")
+	}
+	if totals[trace.ModeUser].Cycles == 0 || totals[trace.ModeKernel].Cycles == 0 {
+		t.Fatalf("mode totals missing: %+v", totals)
+	}
+}
+
+// heapSrc grows the heap with sbrk and touches pages, exercising
+// vfault/demand_zero and the utlb refill path.
+const heapSrc = `
+        .org 0x00400000
+_start:
+        li   a0, 65536        # sbrk(64 KB)
+        li   v0, 6
+        syscall
+        move s0, v0           # base
+        # touch every page (16 pages): store then load back
+        li   t0, 0
+        li   t1, 16
+touch:
+        sll  t2, t0, 12
+        addu t2, s0, t2
+        sw   t0, 0(t2)
+        lw   t3, 0(t2)
+        bne  t3, t0, bad
+        addiu t0, t0, 1
+        bne  t0, t1, touch
+        # rescan to produce utlb activity over the now-mapped pages
+        li   t0, 0
+        li   s1, 0
+scan:
+        sll  t2, t0, 12
+        addu t2, s0, t2
+        lw   t3, 0(t2)
+        addu s1, s1, t3
+        addiu t0, t0, 1
+        bne  t0, t1, scan
+        # sum 0..15 = 120
+        li   t0, 120
+        bne  s1, t0, bad
+        li   a0, 0
+        li   v0, 1
+        syscall
+bad:
+        li   a0, 2
+        li   v0, 1
+        syscall
+`
+
+func TestDemandZeroAndUTLB(t *testing.T) {
+	w := buildWorkload(t, "heap", heapSrc, nil)
+	m, err := New(testConfig(CoreMipsy), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatalf("%v; console: %q; faults: %v", err, m.Console(), m.Faults)
+	}
+	if m.ExitCode() != 0 {
+		t.Fatalf("exit code %d; console %q", m.ExitCode(), m.Console())
+	}
+	col := m.Collector()
+	dz := col.ServiceStats(trace.SvcDemandZero)
+	if dz.Invocations != 16 {
+		t.Fatalf("demand_zero invocations = %d, want 16", dz.Invocations)
+	}
+	if col.ServiceStats(trace.SvcUTLB).Invocations == 0 {
+		t.Fatal("no utlb refills")
+	}
+	if col.ServiceStats(trace.SvcVFault).Invocations == 0 {
+		t.Fatal("no vfault invocations")
+	}
+	if col.ServiceStats(trace.SvcTLBMiss).Invocations == 0 {
+		t.Fatal("no kseg2 tlb_miss refills")
+	}
+}
+
+// flushSrc exercises the cacheflush syscall over a JIT-style buffer.
+const flushSrc = `
+        .org 0x00400000
+_start:
+        li   a0, 8192         # sbrk one region
+        li   v0, 6
+        syscall
+        move s0, v0
+        # fill with data (the "JIT")
+        li   t0, 0
+        li   t1, 1024
+fill:
+        sll  t2, t0, 2
+        addu t2, s0, t2
+        sw   t0, 0(t2)
+        addiu t0, t0, 1
+        bne  t0, t1, fill
+        move a0, s0           # cacheflush(base, 4096)
+        li   a1, 4096
+        li   v0, 8
+        syscall
+        li   a0, 0
+        li   v0, 1
+        syscall
+`
+
+func TestCacheflushService(t *testing.T) {
+	w := buildWorkload(t, "flush", flushSrc, nil)
+	m, err := New(testConfig(CoreMipsy), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatalf("%v; console: %q; faults: %v", err, m.Console(), m.Faults)
+	}
+	cf := m.Collector().ServiceStats(trace.SvcCacheFlush)
+	if cf.Invocations != 1 {
+		t.Fatalf("cacheflush invocations = %d", cf.Invocations)
+	}
+	if cf.Total.Cycles < 64 {
+		t.Fatalf("cacheflush too cheap: %d cycles", cf.Total.Cycles)
+	}
+}
+
+func TestMXSMatchesMipsyArchitecturally(t *testing.T) {
+	// Both timing models must produce the same console output and exit code
+	// for a workload with paging, syscalls and I/O: the timing-first design
+	// guarantees identical architectural behaviour.
+	data := []byte(strings.Repeat("softwatt!", 2000))
+	for _, core := range []CoreKind{CoreMipsy, CoreMXS, CoreMXS1} {
+		w := buildWorkload(t, "file", fileSrc, nil)
+		w.Files = append(w.Files, kernFile("data.bin", data))
+		m, err := New(testConfig(core), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(0); err != nil {
+			t.Fatalf("%v on %v; console: %q; faults %v", err, core, m.Console(), m.Faults)
+		}
+		if m.ExitCode() != 0 {
+			t.Fatalf("%v exit code %d; console %q", core, m.ExitCode(), m.Console())
+		}
+		if got := m.Console(); !strings.Contains(got, "softwatt!") {
+			t.Fatalf("%v console = %q", core, got)
+		}
+	}
+}
+
+func TestSyncModeObserved(t *testing.T) {
+	// Any syscall path acquires spinlocks, so sync-mode cycles must appear.
+	data := []byte(strings.Repeat("x", 8192))
+	w := buildWorkload(t, "file", fileSrc, nil)
+	w.Files = append(w.Files, kernFile("data.bin", data))
+	m, err := New(testConfig(CoreMipsy), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	totals := m.Collector().ModeTotals()
+	if totals[trace.ModeSync].Cycles == 0 {
+		t.Fatal("no kernel-sync cycles attributed")
+	}
+	// Sync must be a small fraction, as in the paper (<1% there).
+	var all uint64
+	for m := range totals {
+		all += totals[m].Cycles
+	}
+	if frac := float64(totals[trace.ModeSync].Cycles) / float64(all); frac > 0.2 {
+		t.Fatalf("sync fraction implausibly high: %.2f", frac)
+	}
+}
+
+func TestDiskEnergyAccounted(t *testing.T) {
+	data := []byte(strings.Repeat("y", 65536))
+	w := buildWorkload(t, "file", fileSrc, nil)
+	w.Files = append(w.Files, kernFile("data.bin", data))
+	cfg := testConfig(CoreMipsy)
+	cfg.Disk.Policy = disk.PolicyIdle
+	m, err := New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if e := m.Disk().EnergyJ(m.Cycle()); e <= 0 {
+		t.Fatalf("disk energy = %v", e)
+	}
+	if m.Disk().State() == disk.StateActive {
+		t.Fatal("idle-policy disk left active")
+	}
+}
+
+func kernFile(name string, data []byte) kern.File {
+	return kern.File{Name: name, Data: data}
+}

@@ -1,0 +1,177 @@
+// Package mem implements the simulated memory system: physical RAM and a
+// two-level cache hierarchy with a tag-only design. Caches model timing,
+// replacement, and per-structure access counts (the inputs to the analytical
+// power models); data always lives in the flat physical RAM, which keeps the
+// functional core and the timing models trivially coherent.
+//
+// The hierarchy matches the paper's Table 1: split 32 KB 2-way L1 I/D caches
+// with 64 B lines and a unified 1 MB 2-way L2 with 128 B lines, all
+// write-back write-allocate, over a 128 MB DRAM.
+package mem
+
+import "fmt"
+
+// CacheConfig describes one cache array.
+type CacheConfig struct {
+	Name       string
+	Size       int // total bytes
+	LineSize   int // bytes
+	Assoc      int // ways
+	HitLatency int // cycles
+}
+
+// Validate checks the configuration for consistency.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.Size <= 0 || c.LineSize <= 0 || c.Assoc <= 0:
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	case c.Size%(c.LineSize*c.Assoc) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by line*assoc", c.Name, c.Size)
+	case c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineSize)
+	}
+	sets := c.Size / (c.LineSize * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c CacheConfig) Sets() int { return c.Size / (c.LineSize * c.Assoc) }
+
+type line struct {
+	tag   uint32
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Cache is a tag-only set-associative cache.
+type Cache struct {
+	cfg        CacheConfig
+	lines      []line // sets * assoc, way-major within a set
+	setShift   uint
+	setMask    uint32
+	tick       uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// NewCache builds a cache from its configuration.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg, lines: make([]line, cfg.Sets()*cfg.Assoc)}
+	sh := uint(0)
+	for 1<<sh != cfg.LineSize {
+		sh++
+	}
+	c.setShift = sh
+	c.setMask = uint32(cfg.Sets() - 1)
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+func (c *Cache) set(paddr uint32) []line {
+	s := int(paddr >> c.setShift & c.setMask)
+	return c.lines[s*c.cfg.Assoc : (s+1)*c.cfg.Assoc]
+}
+
+func (c *Cache) tag(paddr uint32) uint32 {
+	return paddr >> c.setShift >> uint(log2(c.cfg.Sets()))
+}
+
+// Access looks up paddr, allocating on a miss (write-allocate). It returns
+// whether the access hit and whether a dirty line was evicted (which costs a
+// writeback to the next level).
+func (c *Cache) Access(paddr uint32, write bool) (hit, writeback bool) {
+	c.tick++
+	set := c.set(paddr)
+	tag := c.tag(paddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			c.Hits++
+			return true, false
+		}
+	}
+	c.Misses++
+	// Victim: invalid way first, else LRU.
+	v := 0
+	for i := range set {
+		if !set[i].valid {
+			v = i
+			break
+		}
+		if set[i].lru < set[v].lru {
+			v = i
+		}
+	}
+	writeback = set[v].valid && set[v].dirty
+	if writeback {
+		c.Writebacks++
+	}
+	set[v] = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	return false, writeback
+}
+
+// Probe reports whether paddr currently hits, with no state change.
+func (c *Cache) Probe(paddr uint32) bool {
+	set := c.set(paddr)
+	tag := c.tag(paddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateLine drops the line containing paddr if present, returning
+// whether it was dirty.
+func (c *Cache) InvalidateLine(paddr uint32) (present, dirty bool) {
+	set := c.set(paddr)
+	tag := c.tag(paddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			d := set[i].dirty
+			set[i] = line{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// InvalidateAll empties the cache.
+func (c *Cache) InvalidateAll() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// OccupiedLines returns the number of valid lines (for tests/telemetry).
+func (c *Cache) OccupiedLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,133 @@
+package mem
+
+// Accesses counts how many times each memory-system structure was exercised
+// by one CPU-level operation. The machine attributes these counts to the
+// current software context (mode + kernel service); the power models later
+// convert them to energy.
+type Accesses struct {
+	L1I uint32
+	L1D uint32
+	L2  uint32
+	Mem uint32
+}
+
+// Add accumulates o into a.
+func (a *Accesses) Add(o Accesses) {
+	a.L1I += o.L1I
+	a.L1D += o.L1D
+	a.L2 += o.L2
+	a.Mem += o.Mem
+}
+
+// HierConfig describes the hierarchy's latencies beyond the L1s.
+type HierConfig struct {
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+	// MemLatency is the DRAM access latency in cycles.
+	MemLatency int
+	// UncachedLatency is the cost of an uncached (MMIO) access.
+	UncachedLatency int
+}
+
+// DefaultHierConfig returns the paper's Table 1 memory system.
+func DefaultHierConfig() HierConfig {
+	return HierConfig{
+		L1I:             CacheConfig{Name: "il1", Size: 32 << 10, LineSize: 64, Assoc: 2, HitLatency: 1},
+		L1D:             CacheConfig{Name: "dl1", Size: 32 << 10, LineSize: 64, Assoc: 2, HitLatency: 1},
+		L2:              CacheConfig{Name: "l2", Size: 1 << 20, LineSize: 128, Assoc: 2, HitLatency: 10},
+		MemLatency:      60,
+		UncachedLatency: 20,
+	}
+}
+
+// Hierarchy ties the three caches together and produces per-access latency
+// and structure-access counts.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	cfg HierConfig
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierConfig) *Hierarchy {
+	return &Hierarchy{
+		L1I: NewCache(cfg.L1I),
+		L1D: NewCache(cfg.L1D),
+		L2:  NewCache(cfg.L2),
+		cfg: cfg,
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierConfig { return h.cfg }
+
+// IFetch performs an instruction fetch at physical address paddr.
+func (h *Hierarchy) IFetch(paddr uint32) (latency int, acc Accesses) {
+	acc.L1I = 1
+	hit, _ := h.L1I.Access(paddr, false)
+	if hit {
+		return h.cfg.L1I.HitLatency, acc
+	}
+	return h.l2Fill(paddr, false, &acc, h.cfg.L1I.HitLatency)
+}
+
+// Data performs a data access (load or store) at physical address paddr.
+func (h *Hierarchy) Data(paddr uint32, write bool) (latency int, acc Accesses) {
+	acc.L1D = 1
+	hit, wb := h.L1D.Access(paddr, write)
+	if hit {
+		return h.cfg.L1D.HitLatency, acc
+	}
+	if wb {
+		// Dirty eviction: one L2 write, no added latency on the critical
+		// path (writeback buffer).
+		acc.L2++
+		h.L2.Access(paddr, true) // victim address unknown in tag-only model; approximate
+	}
+	return h.l2Fill(paddr, write, &acc, h.cfg.L1D.HitLatency)
+}
+
+// l2Fill services an L1 miss from L2 (and DRAM beyond it).
+func (h *Hierarchy) l2Fill(paddr uint32, write bool, acc *Accesses, base int) (int, Accesses) {
+	acc.L2++
+	hit, wb := h.L2.Access(paddr, write)
+	if hit {
+		return base + h.cfg.L2.HitLatency, *acc
+	}
+	if wb {
+		acc.Mem++
+	}
+	acc.Mem++
+	return base + h.cfg.L2.HitLatency + h.cfg.MemLatency, *acc
+}
+
+// Uncached returns the fixed cost of an uncached access (no cache activity,
+// one memory-system access for the bus transaction).
+func (h *Hierarchy) Uncached() (latency int, acc Accesses) {
+	return h.cfg.UncachedLatency, Accesses{}
+}
+
+// FlushLine performs a CACHE maintenance operation on the line containing
+// paddr: it invalidates the L1 I and D lines (writing back dirty data to
+// L2). Used by the kernel's cacheflush service.
+func (h *Hierarchy) FlushLine(paddr uint32) (latency int, acc Accesses) {
+	latency = 1
+	acc.L1I, acc.L1D = 1, 1
+	if _, dirty := h.L1D.InvalidateLine(paddr); dirty {
+		acc.L2++
+		latency += h.cfg.L2.HitLatency
+		h.L2.Access(paddr, true)
+	}
+	h.L1I.InvalidateLine(paddr)
+	return latency, acc
+}
+
+// InvalidateAll empties every cache (used at checkpoint restore when the
+// machine is reconfigured).
+func (h *Hierarchy) InvalidateAll() {
+	h.L1I.InvalidateAll()
+	h.L1D.InvalidateAll()
+	h.L2.InvalidateAll()
+}

@@ -1,0 +1,219 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testCache() *Cache {
+	return NewCache(CacheConfig{Name: "t", Size: 1 << 10, LineSize: 64, Assoc: 2, HitLatency: 1})
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := testCache()
+	if hit, _ := c.Access(0x1000, false); hit {
+		t.Fatal("cold access hit")
+	}
+	if hit, _ := c.Access(0x1000, false); !hit {
+		t.Fatal("second access missed")
+	}
+	if hit, _ := c.Access(0x103F, false); !hit {
+		t.Fatal("same line missed")
+	}
+	if hit, _ := c.Access(0x1040, false); hit {
+		t.Fatal("next line hit")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	c := testCache() // 8 sets, 2 ways
+	// Three addresses mapping to the same set (set stride = 8*64 = 512).
+	a, b, d := uint32(0x0000), uint32(0x0200), uint32(0x0400)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a most recent
+	c.Access(d, false) // evicts b
+	if !c.Probe(a) {
+		t.Fatal("a evicted")
+	}
+	if c.Probe(b) {
+		t.Fatal("b survived")
+	}
+	if !c.Probe(d) {
+		t.Fatal("d missing")
+	}
+}
+
+func TestCacheWritebackOnDirtyEviction(t *testing.T) {
+	c := testCache()
+	a, b, d := uint32(0x0000), uint32(0x0200), uint32(0x0400)
+	c.Access(a, true) // dirty
+	c.Access(b, false)
+	if _, wb := c.Access(d, false); !wb { // evicts dirty a
+		t.Fatal("no writeback for dirty eviction")
+	}
+	if c.Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Writebacks)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := testCache()
+	c.Access(0x40, true)
+	if p, d := c.InvalidateLine(0x40); !p || !d {
+		t.Fatalf("invalidate: present=%v dirty=%v", p, d)
+	}
+	if c.Probe(0x40) {
+		t.Fatal("line still present")
+	}
+	if p, _ := c.InvalidateLine(0x40); p {
+		t.Fatal("double invalidate reported present")
+	}
+	c.Access(0x40, false)
+	c.Access(0x80, false)
+	c.InvalidateAll()
+	if c.OccupiedLines() != 0 {
+		t.Fatal("InvalidateAll left lines")
+	}
+}
+
+func TestCacheOccupancyNeverExceedsCapacity(t *testing.T) {
+	c := testCache()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		c.Access(r.Uint32()&0xFFFF, r.Intn(2) == 0)
+	}
+	if got, max := c.OccupiedLines(), c.Config().Sets()*c.Config().Assoc; got > max {
+		t.Fatalf("occupied %d > capacity %d", got, max)
+	}
+}
+
+func TestCacheProbeAfterAccessProperty(t *testing.T) {
+	// Property: immediately after Access(p), Probe(p) is true, and accesses
+	// within the same line hit.
+	c := NewCache(CacheConfig{Name: "p", Size: 4 << 10, LineSize: 32, Assoc: 4, HitLatency: 1})
+	f := func(p uint32, off uint8, w bool) bool {
+		p &= 0xFF_FFFF
+		c.Access(p, w)
+		if !c.Probe(p) {
+			return false
+		}
+		same := p&^31 | uint32(off)&31
+		hit, _ := c.Access(same, false)
+		return hit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []CacheConfig{
+		{Name: "a", Size: 0, LineSize: 64, Assoc: 2},
+		{Name: "b", Size: 1000, LineSize: 64, Assoc: 2},
+		{Name: "c", Size: 1 << 10, LineSize: 48, Assoc: 2},
+		{Name: "d", Size: 3 << 10, LineSize: 64, Assoc: 1}, // 48 sets: not pow2
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %s validated but should not", cfg.Name)
+		}
+	}
+	if err := DefaultHierConfig().L2.Validate(); err != nil {
+		t.Errorf("default L2 invalid: %v", err)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	// Cold fetch: L1I miss, L2 miss, memory.
+	lat, acc := h.IFetch(0x10000)
+	want := 1 + 10 + 60
+	if lat != want {
+		t.Fatalf("cold fetch latency = %d, want %d", lat, want)
+	}
+	if acc.L1I != 1 || acc.L2 != 1 || acc.Mem != 1 {
+		t.Fatalf("cold fetch accesses = %+v", acc)
+	}
+	// Warm fetch: L1 hit.
+	lat, acc = h.IFetch(0x10000)
+	if lat != 1 || acc.L1I != 1 || acc.L2 != 0 || acc.Mem != 0 {
+		t.Fatalf("warm fetch: lat=%d acc=%+v", lat, acc)
+	}
+	// Data access to a line sharing the L2 line with the fetch: L1D miss,
+	// L2 hit.
+	lat, acc = h.Data(0x10040, false)
+	if lat != 1+10 {
+		t.Fatalf("L2-hit load latency = %d", lat)
+	}
+	if acc.L1D != 1 || acc.L2 != 1 || acc.Mem != 0 {
+		t.Fatalf("L2-hit load accesses = %+v", acc)
+	}
+}
+
+func TestHierarchyFlushLine(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	h.Data(0x40000, true) // dirty in L1D
+	lat, acc := h.FlushLine(0x40000)
+	if lat <= 1 {
+		t.Fatalf("dirty flush latency = %d", lat)
+	}
+	if acc.L2 != 1 {
+		t.Fatalf("dirty flush must write L2: %+v", acc)
+	}
+	if h.L1D.Probe(0x40000) {
+		t.Fatal("line survived flush")
+	}
+	// Clean flush is cheap.
+	lat, acc = h.FlushLine(0x40000)
+	if lat != 1 || acc.L2 != 0 {
+		t.Fatalf("clean flush: lat=%d acc=%+v", lat, acc)
+	}
+}
+
+func TestRAMReadWrite(t *testing.T) {
+	r := NewRAM(1 << 16)
+	r.Write(0x100, 4, 0xDEADBEEF)
+	if got := r.Read(0x100, 4); got != 0xDEADBEEF {
+		t.Fatalf("got %x", got)
+	}
+	if got := r.Read(0x100, 1); got != 0xEF {
+		t.Fatalf("LE byte = %x", got)
+	}
+	if got := r.Read(0x102, 2); got != 0xDEAD {
+		t.Fatalf("LE half = %x", got)
+	}
+	r.Write(0x200, 8, 0x0123456789ABCDEF)
+	if got := r.Read(0x200, 8); got != 0x0123456789ABCDEF {
+		t.Fatalf("64-bit = %x", got)
+	}
+	// Out-of-range accesses are dropped/zero, not panics.
+	r.Write(uint32(r.Size()), 4, 1)
+	if got := r.Read(uint32(r.Size()), 4); got != 0 {
+		t.Fatalf("oob read = %x", got)
+	}
+}
+
+func TestRAMRoundTripProperty(t *testing.T) {
+	r := NewRAM(1 << 16)
+	f := func(pa uint16, v uint32) bool {
+		a := uint32(pa) &^ 3
+		r.Write(a, 4, uint64(v))
+		return uint32(r.Read(a, 4)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessesAdd(t *testing.T) {
+	a := Accesses{L1I: 1, L1D: 2, L2: 3, Mem: 4}
+	a.Add(Accesses{L1I: 10, L1D: 20, L2: 30, Mem: 40})
+	if a != (Accesses{L1I: 11, L1D: 22, L2: 33, Mem: 44}) {
+		t.Fatalf("add = %+v", a)
+	}
+}

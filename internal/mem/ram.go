@@ -1,0 +1,63 @@
+package mem
+
+import "encoding/binary"
+
+// RAM is the flat little-endian physical memory. It implements the data
+// side of arch.Bus; the machine wraps it with MMIO dispatch for device
+// addresses.
+type RAM struct {
+	data []byte
+}
+
+// NewRAM allocates size bytes of zeroed physical memory.
+func NewRAM(size int) *RAM { return &RAM{data: make([]byte, size)} }
+
+// Size returns the memory size in bytes.
+func (r *RAM) Size() int { return len(r.data) }
+
+// Bytes exposes the backing store (used by loaders and DMA).
+func (r *RAM) Bytes() []byte { return r.data }
+
+// Read returns the little-endian value of the given size at pa. Accesses
+// beyond the end of memory return zero, matching open-bus behaviour.
+func (r *RAM) Read(pa uint32, size int) uint64 {
+	if int(pa)+size > len(r.data) {
+		return 0
+	}
+	switch size {
+	case 1:
+		return uint64(r.data[pa])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(r.data[pa:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(r.data[pa:]))
+	case 8:
+		return binary.LittleEndian.Uint64(r.data[pa:])
+	}
+	panic("mem: bad access size")
+}
+
+// Write stores the little-endian value of the given size at pa. Writes
+// beyond the end of memory are dropped.
+func (r *RAM) Write(pa uint32, size int, v uint64) {
+	if int(pa)+size > len(r.data) {
+		return
+	}
+	switch size {
+	case 1:
+		r.data[pa] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(r.data[pa:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(r.data[pa:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(r.data[pa:], v)
+	default:
+		panic("mem: bad access size")
+	}
+}
+
+// LoadSegment copies data into physical memory at pa.
+func (r *RAM) LoadSegment(pa uint32, data []byte) {
+	copy(r.data[pa:], data)
+}

@@ -1,0 +1,119 @@
+package power
+
+import "math"
+
+// ArrayGeom describes one SRAM array for the Kamble–Ghose style model.
+type ArrayGeom struct {
+	Rows     int // word lines of the active subarray
+	Cols     int // bit cells per row actually read (data + tag)
+	ReadOut  int // bits driven to the output
+	Assoc    int // ways compared (tag comparators)
+	TagBits  int
+	PortMult float64 // extra capacitance factor for multiported cells
+	// TotalBits, when non-zero, sizes the global routing from the active
+	// subarray to the cache port (grows with the full capacity even though
+	// only one subarray switches).
+	TotalBits int
+}
+
+// CacheGeom derives the active-array geometry for a cache with the given
+// total size, line size and associativity. Large caches are subbanked: only
+// one subarray of at most maxSubarrayRows word lines is activated per
+// access, as in Kamble & Ghose's Nsub partitioning, so the per-access
+// energy grows sublinearly with capacity.
+func CacheGeom(sizeBytes, lineBytes, assoc, addrBits int) ArrayGeom {
+	const maxSubarrayRows = 256
+	sets := sizeBytes / (lineBytes * assoc)
+	rows := sets
+	for rows > maxSubarrayRows {
+		rows /= 2
+	}
+	bitsPerSet := lineBytes * 8 * assoc
+	tagBits := addrBits - int(math.Log2(float64(sets*lineBytes)))
+	return ArrayGeom{
+		Rows:      rows,
+		Cols:      bitsPerSet + tagBits*assoc,
+		ReadOut:   64, // a 64-bit word leaves the cache per access
+		Assoc:     assoc,
+		TagBits:   tagBits,
+		PortMult:  1,
+		TotalBits: sizeBytes * 8,
+	}
+}
+
+// AccessEnergy returns the energy of one read/write access to the array,
+// following Kamble & Ghose: row decode, wordline drive, bitline swing on
+// every column of the selected set, sense amplification, tag comparison,
+// and output drive.
+func (g ArrayGeom) AccessEnergy(t Tech) float64 {
+	s := t.scale()
+	pm := g.PortMult
+	if pm == 0 {
+		pm = 1
+	}
+	// Decoder: log2(rows) stages approximated as a fixed equivalent load
+	// per driven row driver.
+	eDecode := t.eSwitch(cDecoderNand*s) * math.Log2(float64(g.Rows)+2)
+	// Wordline: gate load of every cell in the row plus the wire.
+	cWL := (cGatePerCell*2 + cWirePerUm*cellWidthUm*s) * float64(g.Cols) * pm * s
+	eWL := t.eSwitch(cWL)
+	// Bitlines: every column swings; load is the drain cap of all rows on
+	// the column plus the wire run.
+	cBL := (cDrainPerCell + cWirePerUm*cellHeightUm*s) * float64(g.Rows) * pm * s
+	eBL := t.eBitline(cBL) * float64(g.Cols)
+	// Sense amps on every column.
+	eSA := t.eSwitch(cSenseAmp*s) * float64(g.Cols)
+	// Tag comparators: assoc comparators over tagBits.
+	eCmp := t.eSwitch(cCamCellTag*s*float64(g.TagBits)) * float64(g.Assoc)
+	// Output drivers.
+	eOut := t.eSwitch(cOutDriver*s) * float64(g.ReadOut)
+	// Global routing from the active subarray across the full macro (only
+	// for capacity-sized arrays): wire length ~ the macro edge.
+	eRoute := 0.0
+	if g.TotalBits > 0 {
+		edgeUm := math.Sqrt(float64(g.TotalBits)) * cellWidthUm * s
+		eRoute = t.eSwitch(cWirePerUm*edgeUm*s) * float64(g.ReadOut) * 0.25
+	}
+	return eDecode + eWL + eBL + eSA + eCmp + eOut + eRoute
+}
+
+// CAMGeom describes a fully-associative (content-addressed) structure for
+// the Palacharla/Wattch model: a match against every entry plus one entry
+// read/write.
+type CAMGeom struct {
+	Entries int
+	TagBits int // bits compared per entry
+	Payload int // bits read on a hit
+}
+
+// AccessEnergy returns the energy of one associative lookup: every entry's
+// match line and tag cells switch, then the hit entry's payload is read.
+func (g CAMGeom) AccessEnergy(t Tech) float64 {
+	s := t.scale()
+	// Tag broadcast wires + CAM cell loads on every entry.
+	cMatch := (cCamCellTag*float64(g.TagBits) + cWirePerUm*cellHeightUm*s) * float64(g.Entries) * s
+	eMatch := t.eSwitch(cMatch)
+	// Payload read modelled as a small RAM row.
+	row := ArrayGeom{Rows: g.Entries, Cols: g.Payload, ReadOut: g.Payload, Assoc: 1, TagBits: 0}
+	return eMatch + row.AccessEnergy(t)*0.5
+}
+
+// RegFileGeom describes a multiported register file array.
+type RegFileGeom struct {
+	Regs  int
+	Bits  int
+	Ports int
+}
+
+// AccessEnergy returns the energy of one port access (read or write).
+func (g RegFileGeom) AccessEnergy(t Tech) float64 {
+	a := ArrayGeom{
+		Rows:     g.Regs,
+		Cols:     g.Bits,
+		ReadOut:  g.Bits,
+		Assoc:    1,
+		TagBits:  0,
+		PortMult: 1 + 0.35*float64(g.Ports-1), // wider cells per extra port
+	}
+	return a.AccessEnergy(t)
+}

@@ -1,0 +1,49 @@
+package power
+
+// Clock network model after Duarte et al.: the energy of the clock
+// generation circuitry (PLL) and a balanced H-tree distribution network
+// over the die, plus the clocked latch load of each pipeline unit. The
+// global tree and PLL are not gated; unit latch loads are conditionally
+// clocked with their unit, which is how SoftWatt's conditional clocking
+// applies to the clock itself.
+type ClockModel struct {
+	// BaseW is the ungated power: PLL plus the global H-tree.
+	BaseW float64
+	// LatchJ is the per-access latch-clocking energy charged alongside
+	// every counted unit access.
+	LatchJ float64
+}
+
+// Die geometry for an R10000-class part. The per-metre capacitance is the
+// effective value including the repeater/buffer stages that drive each
+// H-tree segment (Duarte et al. fold buffers into an effective wire load).
+const (
+	dieEdgeMm      = 17.3 // R10000 is ~17x18 mm²
+	cClockWirePerM = 5.3e-9
+	treeLevels     = 6
+	cPLL           = 45e-12 // lumped PLL + global driver capacitance
+	cLatchPerUnit  = 73e-12 // clocked latch/precharge load per unit access
+)
+
+// NewClockModel evaluates the clock network at the technology point.
+func NewClockModel(t Tech) ClockModel {
+	s := t.scale()
+	// Total H-tree wire length: each level halves segment length but
+	// doubles the segment count, so every level contributes ~one die edge
+	// of wire per branch pair.
+	wireM := 0.0
+	seg := dieEdgeMm / 1000.0
+	branches := 1.0
+	for l := 0; l < treeLevels; l++ {
+		wireM += seg * branches
+		seg /= 2
+		branches *= 2
+	}
+	cTree := (cClockWirePerM*wireM + cPLL) * s
+	// The global network switches every cycle at f (both edges -> factor 1).
+	baseW := cTree * t.Vdd * t.Vdd * t.ClockHz
+	return ClockModel{
+		BaseW:  baseW,
+		LatchJ: t.eSwitch(cLatchPerUnit * s),
+	}
+}

@@ -1,0 +1,155 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"softwatt/internal/trace"
+)
+
+func TestR10000ValidationAnchor(t *testing.T) {
+	// The paper validates SoftWatt's CPU model by configuring it for
+	// maximum power and comparing with the R10000 datasheet: it reports
+	// 25.3 W against the 30 W datasheet figure. Our model reproduces the
+	// 25.3 W SoftWatt value.
+	m := Default()
+	got := m.R10000MaxPowerW()
+	if math.Abs(got-25.3) > 0.15 {
+		t.Fatalf("max CPU power = %.2f W, want 25.3 W (paper validation)", got)
+	}
+	if got > 30.0 {
+		t.Fatalf("max CPU power %.2f exceeds the datasheet bound", got)
+	}
+}
+
+func TestCacheEnergyGrowsWithSize(t *testing.T) {
+	tech := DefaultTech()
+	sizes := []int{8 << 10, 32 << 10, 128 << 10, 1 << 20}
+	var prev float64
+	for _, s := range sizes {
+		e := CacheGeom(s, 64, 2, 32).AccessEnergy(tech)
+		if e <= prev {
+			t.Fatalf("cache %d bytes: energy %.3g not > previous %.3g", s, e, prev)
+		}
+		prev = e
+	}
+	// Subbanking keeps the growth sublinear: 128x capacity must cost less
+	// than 16x energy.
+	small := CacheGeom(8<<10, 64, 2, 32).AccessEnergy(tech)
+	big := CacheGeom(1<<20, 64, 2, 32).AccessEnergy(tech)
+	if big/small > 16 {
+		t.Fatalf("subbanking ineffective: ratio %.1f", big/small)
+	}
+}
+
+func TestCacheEnergyGrowsWithAssociativity(t *testing.T) {
+	tech := DefaultTech()
+	e1 := CacheGeom(32<<10, 64, 1, 32).AccessEnergy(tech)
+	e4 := CacheGeom(32<<10, 64, 4, 32).AccessEnergy(tech)
+	if e4 <= e1 {
+		t.Fatalf("4-way %g <= direct-mapped %g", e4, e1)
+	}
+}
+
+func TestCAMEnergyGrowsWithEntries(t *testing.T) {
+	tech := DefaultTech()
+	e32 := CAMGeom{Entries: 32, TagBits: 20, Payload: 26}.AccessEnergy(tech)
+	e128 := CAMGeom{Entries: 128, TagBits: 20, Payload: 26}.AccessEnergy(tech)
+	if e128 <= e32 {
+		t.Fatalf("CAM energy not monotone: %g vs %g", e32, e128)
+	}
+}
+
+func TestVoltageScalingQuadratic(t *testing.T) {
+	lo := New(Tech{FeatureUm: 0.35, Vdd: 1.65, ClockHz: 200e6}, DefaultConfig())
+	hi := Default()
+	// Dynamic energy scales with Vdd^2: halving Vdd quarters unit energy.
+	for u := trace.Unit(0); u < trace.NumUnits; u++ {
+		if u == trace.UnitMem {
+			continue // DRAM model fixed at its own rail
+		}
+		r := hi.UnitJ[u] / lo.UnitJ[u]
+		if math.Abs(r-4) > 0.2 {
+			t.Fatalf("unit %v: Vdd scaling ratio %.2f, want 4", u, r)
+		}
+	}
+}
+
+func TestBucketEnergyComposition(t *testing.T) {
+	m := Default()
+	var b trace.Bucket
+	b.Cycles = 1000
+	b.Units[trace.UnitALU] = 500
+	b.Units[trace.UnitL1I] = 900
+	b.Units[trace.UnitMem] = 3
+	bd := m.BucketEnergy(&b)
+	sum := bd.Datapath + bd.L1I + bd.L1D + bd.L2 + bd.Clock + bd.Memory
+	if math.Abs(sum-bd.Total)/bd.Total > 1e-12 {
+		t.Fatalf("total %.6g != sum of parts %.6g", bd.Total, sum)
+	}
+	if bd.L1I != 900*m.UnitJ[trace.UnitL1I] {
+		t.Fatalf("L1I energy wrong")
+	}
+	// Clock includes the ungated base for the bucket's cycles.
+	minClock := m.Clock.BaseW * 1000 / m.Tech.ClockHz
+	if bd.Clock < minClock {
+		t.Fatalf("clock %.3g below ungated base %.3g", bd.Clock, minClock)
+	}
+}
+
+func TestBucketEnergyAdditiveProperty(t *testing.T) {
+	// Energy must be additive over bucket concatenation: E(a+b) = E(a)+E(b).
+	m := Default()
+	f := func(aC, bC uint16, aU, bU uint8) bool {
+		var a, b, ab trace.Bucket
+		a.Cycles, b.Cycles = uint64(aC), uint64(bC)
+		a.Units[trace.UnitALU] = uint64(aU)
+		b.Units[trace.UnitL1D] = uint64(bU)
+		ab = a
+		ab.Add(&b)
+		ea := m.BucketEnergy(&a).Total
+		eb := m.BucketEnergy(&b).Total
+		eab := m.BucketEnergy(&ab).Total
+		return math.Abs(eab-(ea+eb)) < 1e-9*(1+eab)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdleBucketStillConsumes(t *testing.T) {
+	// A bucket with cycles but no activity still pays the ungated clock and
+	// DRAM background: the paper's point that idling is not free.
+	m := Default()
+	var b trace.Bucket
+	b.Cycles = uint64(m.Tech.ClockHz) // one second
+	bd := m.BucketEnergy(&b)
+	if bd.Total < 1.5 { // >= base clock + DRAM background
+		t.Fatalf("idle second consumed only %.2f J", bd.Total)
+	}
+}
+
+func TestSingleIssueMaxBelowSuperscalar(t *testing.T) {
+	m := Default()
+	one := m.MaxCPUPowerW(1, 1, 1, 1, 1, 1)
+	four := m.R10000MaxPowerW()
+	if one >= four {
+		t.Fatalf("single-issue max %.1f >= 4-wide max %.1f", one, four)
+	}
+	if one > 0.6*four {
+		t.Fatalf("single-issue max %.1f implausibly close to 4-wide %.1f", one, four)
+	}
+}
+
+func TestInvocationEnergyPositiveAndMonotone(t *testing.T) {
+	m := Default()
+	var small, large trace.Bucket
+	small.Cycles, large.Cycles = 10, 10
+	small.Units[trace.UnitALU] = 5
+	large.Units[trace.UnitALU] = 50
+	es, el := m.InvocationEnergy(&small), m.InvocationEnergy(&large)
+	if es <= 0 || el <= es {
+		t.Fatalf("invocation energies: %g, %g", es, el)
+	}
+}

@@ -1,0 +1,54 @@
+// Package power implements SoftWatt's analytical energy models: SRAM array
+// models for the caches in the style of Kamble & Ghose, CAM models for the
+// associative structures (TLB, instruction window, load/store queue) after
+// Palacharla et al. as used by Wattch, a clock generation/distribution model
+// after Duarte et al., plus DRAM and functional-unit energies. All models
+// are evaluated at the paper's technology point (0.35 µm, 3.3 V, 200 MHz)
+// and the whole-CPU model is validated against the MIPS R10000 datasheet
+// maximum power exactly as the paper does: SoftWatt reports 25.3 W against
+// the 30 W datasheet figure.
+//
+// SoftWatt models conditional clocking: a unit consumes its full per-access
+// energy in a cycle in which any of its ports is exercised and nothing
+// otherwise; the clock network has an ungated global component plus gated
+// per-unit latch load.
+package power
+
+// Tech is the process/operating point.
+type Tech struct {
+	FeatureUm float64 // drawn feature size in micrometres
+	Vdd       float64 // supply voltage
+	ClockHz   float64
+}
+
+// DefaultTech returns the paper's Table 1 technology point.
+func DefaultTech() Tech {
+	return Tech{FeatureUm: 0.35, Vdd: 3.3, ClockHz: 200e6}
+}
+
+// Capacitance constants for a 0.35 µm process, scaled linearly with feature
+// size. Values are in farads (per cell, per micrometre of wire, etc.) and
+// follow the style of the Kamble–Ghose and Wattch parameter sets.
+const (
+	ref = 0.35 // reference feature size these constants are drawn for
+
+	cGatePerCell  = 2.0e-15  // wordline gate load per bit cell
+	cDrainPerCell = 1.6e-15  // bitline drain load per bit cell
+	cWirePerUm    = 0.23e-15 // metal wire capacitance per µm
+	cellWidthUm   = 2.6      // SRAM cell width (µm) incl. pitch
+	cellHeightUm  = 2.4      // SRAM cell height (µm)
+	cSenseAmp     = 9.0e-15  // sense amplifier internal capacitance
+	cOutDriver    = 0.12e-12 // output driver + data bus per bit
+	cCamCellTag   = 2.4e-15  // CAM tag cell match-line load per bit
+	cDecoderNand  = 30e-15   // decoder stage equivalent load per row driver
+)
+
+// scale returns the linear scale factor from the reference process.
+func (t Tech) scale() float64 { return t.FeatureUm / ref }
+
+// eSwitch returns the switching energy of capacitance c at full rail.
+func (t Tech) eSwitch(c float64) float64 { return 0.5 * c * t.Vdd * t.Vdd }
+
+// eBitline returns the energy of one bitline transition with reduced swing
+// (precharged bitlines swing ~Vdd/3 during reads).
+func (t Tech) eBitline(c float64) float64 { return c * t.Vdd * (t.Vdd / 3) }

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(v)
+	}
+	if w.N() != 8 || w.Mean() != 5 {
+		t.Fatalf("n=%d mean=%v", w.N(), w.Mean())
+	}
+	if math.Abs(w.StdDev()-2) > 1e-12 {
+		t.Fatalf("stddev %v", w.StdDev())
+	}
+	if math.Abs(w.CoeffDeviationPct()-40) > 1e-9 {
+		t.Fatalf("cod %v", w.CoeffDeviationPct())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max %v %v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordMergeEqualsSequential(t *testing.T) {
+	f := func(seed int64, split uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + int(split)%50
+		k := int(split) % n
+		var all, a, b Welford
+		for i := 0; i < n; i++ {
+			v := r.NormFloat64()*3 + 10
+			all.Add(v)
+			if i < k {
+				a.Add(v)
+			} else {
+				b.Add(v)
+			}
+		}
+		a.Merge(b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordEmptyAndMergeEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.CoeffDeviationPct() != 0 {
+		t.Fatal("empty aggregate not zero")
+	}
+	var a Welford
+	a.Add(5)
+	a.Merge(Welford{})
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Fatal("merge with empty changed state")
+	}
+	var b Welford
+	b.Merge(a)
+	if b.N() != 1 || b.Mean() != 5 {
+		t.Fatal("merge into empty wrong")
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	c := NewCounterSet()
+	c.Add("b", 2)
+	c.Add("a", 1)
+	c.Add("b", 3)
+	if c.Get("b") != 5 || c.Get("a") != 1 || c.Get("zz") != 0 {
+		t.Fatal("counter values wrong")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names %v", names)
+	}
+	if c.String() == "" {
+		t.Fatal("empty render")
+	}
+	c.Reset()
+	if c.Get("b") != 0 || len(c.Names()) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 1.0)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(100) // overflow
+	h.Add(-3)  // clamps to bucket 0
+	if h.Count() != 12 || h.Overflow() != 1 {
+		t.Fatalf("count=%d overflow=%d", h.Count(), h.Overflow())
+	}
+	if h.Bucket(0) != 2 || h.Bucket(9) != 1 {
+		t.Fatalf("buckets %d %d", h.Bucket(0), h.Bucket(9))
+	}
+	if p := h.Percentile(0.5); p < 4 || p > 7 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if h.Mean() == 0 {
+		t.Fatal("mean zero")
+	}
+}
+
+func TestHistogramPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(0, 1)
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Log file format: a small header followed by fixed-size sample records.
+// This mirrors SimOS's approach of dumping sampled statistics to simulation
+// log files that the power estimator later post-processes.
+
+const (
+	logMagic   = 0x53574154 // "SWAT"
+	logVersion = 1
+)
+
+// WriteLog serialises samples to w.
+func WriteLog(w io.Writer, samples []Sample) error {
+	bw := bufio.NewWriter(w)
+	hdr := [4]uint32{logMagic, logVersion, uint32(len(samples)), uint32(NumUnits)}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	for i := range samples {
+		s := &samples[i]
+		if err := binary.Write(bw, binary.LittleEndian, s.Start); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, s.End); err != nil {
+			return err
+		}
+		for m := range s.Mode {
+			b := &s.Mode[m]
+			if err := binary.Write(bw, binary.LittleEndian, b.Units[:]); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, [2]uint64{b.Cycles, b.Insts}); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLog deserialises samples from r.
+func ReadLog(r io.Reader) ([]Sample, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]uint32
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr[0] != logMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != logVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[1])
+	}
+	if hdr[3] != uint32(NumUnits) {
+		return nil, fmt.Errorf("trace: log has %d units, binary has %d", hdr[3], NumUnits)
+	}
+	n := int(hdr[2])
+	samples := make([]Sample, n)
+	for i := range samples {
+		s := &samples[i]
+		if err := binary.Read(br, binary.LittleEndian, &s.Start); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &s.End); err != nil {
+			return nil, err
+		}
+		for m := range s.Mode {
+			b := &s.Mode[m]
+			if err := binary.Read(br, binary.LittleEndian, b.Units[:]); err != nil {
+				return nil, err
+			}
+			var ci [2]uint64
+			if err := binary.Read(br, binary.LittleEndian, ci[:]); err != nil {
+				return nil, err
+			}
+			b.Cycles, b.Insts = ci[0], ci[1]
+		}
+	}
+	return samples, nil
+}

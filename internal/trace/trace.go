@@ -1,0 +1,285 @@
+// Package trace defines the attribution model and the sampled statistics
+// SoftWatt post-processes into power numbers.
+//
+// Every committed cycle and every hardware-structure access is attributed to
+// one execution mode (user, kernel, kernel-sync, idle — the paper's four
+// software modes) and, within the kernel, to the innermost active kernel
+// service (utlb, read, demand_zero, ...). Counts are flushed into fixed
+// sample windows, mirroring SimOS's coarse-grained log dumps: per-cycle
+// information is lost, but simulation is not slowed, exactly the trade the
+// paper describes. Per-invocation service energy (Table 5) and disk energy
+// are the two quantities measured online.
+package trace
+
+import "softwatt/internal/stats"
+
+// Mode is one of the paper's four software execution modes.
+type Mode uint8
+
+// Execution modes.
+const (
+	ModeUser Mode = iota
+	ModeKernel
+	ModeSync
+	ModeIdle
+	NumModes
+)
+
+var modeNames = [NumModes]string{"user", "kernel", "sync", "idle"}
+
+func (m Mode) String() string { return modeNames[m] }
+
+// Unit identifies a hardware structure whose accesses are counted for the
+// analytical power models.
+type Unit uint8
+
+// Hardware units.
+const (
+	UnitALU Unit = iota
+	UnitMul
+	UnitFPU
+	UnitRegRead
+	UnitRegWrite
+	UnitWindow
+	UnitLSQ
+	UnitRename
+	UnitBpred
+	UnitResultBus
+	UnitL1I
+	UnitL1D
+	UnitL2
+	UnitMem
+	UnitTLB
+	NumUnits
+)
+
+var unitNames = [NumUnits]string{
+	"alu", "mul", "fpu", "regread", "regwrite", "window", "lsq",
+	"rename", "bpred", "resultbus", "il1", "dl1", "l2", "mem", "tlb",
+}
+
+func (u Unit) String() string { return unitNames[u] }
+
+// UnitCounts is a vector of access counts indexed by Unit.
+type UnitCounts [NumUnits]uint64
+
+// Add accumulates o into c.
+func (c *UnitCounts) Add(o *UnitCounts) {
+	for i := range c {
+		c[i] += o[i]
+	}
+}
+
+// Bucket aggregates activity for one attribution context.
+type Bucket struct {
+	Units  UnitCounts
+	Cycles uint64
+	Insts  uint64
+}
+
+// Add accumulates o into b.
+func (b *Bucket) Add(o *Bucket) {
+	b.Units.Add(&o.Units)
+	b.Cycles += o.Cycles
+	b.Insts += o.Insts
+}
+
+// Sample is one flushed statistics window.
+type Sample struct {
+	Start, End uint64 // cycle range [Start, End)
+	Mode       [NumModes]Bucket
+}
+
+// Svc identifies a kernel service (the paper's Table 4 rows).
+type Svc uint8
+
+// Kernel services.
+const (
+	SvcNone Svc = iota // sentinel: no service active
+	SvcUTLB
+	SvcTLBMiss
+	SvcVFault
+	SvcDemandZero
+	SvcCacheFlush
+	SvcRead
+	SvcWrite
+	SvcOpen
+	SvcXStat
+	SvcBSD
+	SvcClock
+	SvcDuPoll
+	NumSvc
+)
+
+var svcNames = [NumSvc]string{
+	"none", "utlb", "tlb_miss", "vfault", "demand_zero", "cacheflush",
+	"read", "write", "open", "xstat", "BSD", "clock", "du_poll",
+}
+
+func (s Svc) String() string { return svcNames[s] }
+
+// ServiceStats aggregates one kernel service across a run.
+type ServiceStats struct {
+	Invocations uint64
+	Total       Bucket
+	// EnergyPerInv aggregates per-invocation energy (joules), fed by the
+	// EnergyFn measured online, for the paper's Table 5.
+	EnergyPerInv stats.Welford
+}
+
+// EnergyFn converts one invocation's activity into joules. Supplied by the
+// estimator so that the machine stays power-model-agnostic.
+type EnergyFn func(*Bucket) float64
+
+// Collector gathers attribution-tagged counts on the simulator hot path and
+// flushes them into sample windows.
+type Collector struct {
+	WindowCycles uint64
+
+	mode    Mode
+	svc     Svc
+	cur     Sample
+	samples []Sample
+
+	// Per-service accounting. The invocation stack is maintained by the
+	// machine (push on exception entry, pop on ERET), swapped on context
+	// switch; the collector tracks only the innermost service and its
+	// running invocation bucket.
+	services [NumSvc]ServiceStats
+	invAcc   [NumSvc]Bucket // open-invocation accumulators, one per service
+	energyFn EnergyFn
+
+	totalCycles uint64
+	totalInsts  uint64
+}
+
+// NewCollector creates a collector flushing every windowCycles cycles.
+func NewCollector(windowCycles uint64) *Collector {
+	if windowCycles == 0 {
+		windowCycles = 10000
+	}
+	return &Collector{WindowCycles: windowCycles, mode: ModeKernel}
+}
+
+// SetEnergyFn installs the per-invocation energy callback (may be nil).
+func (c *Collector) SetEnergyFn(fn EnergyFn) { c.energyFn = fn }
+
+// SetContext switches the attribution context. svc is SvcNone outside any
+// kernel service.
+func (c *Collector) SetContext(mode Mode, svc Svc) {
+	c.mode = mode
+	c.svc = svc
+}
+
+// Mode returns the current attribution mode.
+func (c *Collector) Mode() Mode { return c.mode }
+
+// Service returns the current innermost service.
+func (c *Collector) Service() Svc { return c.svc }
+
+// AddUnit records n accesses to unit u in the current context.
+func (c *Collector) AddUnit(u Unit, n uint64) {
+	c.cur.Mode[c.mode].Units[u] += n
+	if c.svc != SvcNone {
+		c.invAcc[c.svc].Units[u] += n
+	}
+}
+
+// AddCycles advances time by n cycles in the current context.
+func (c *Collector) AddCycles(n uint64) {
+	c.cur.Mode[c.mode].Cycles += n
+	c.totalCycles += n
+	if c.svc != SvcNone {
+		c.invAcc[c.svc].Cycles += n
+	}
+	if c.totalCycles >= c.cur.Start+c.WindowCycles {
+		c.flush(c.totalCycles)
+	}
+}
+
+// AddInst records n committed instructions in the current context.
+func (c *Collector) AddInst(n uint64) {
+	c.cur.Mode[c.mode].Insts += n
+	c.totalInsts += n
+	if c.svc != SvcNone {
+		c.invAcc[c.svc].Insts += n
+	}
+}
+
+// BeginInvocation opens a new invocation of svc. Any previously accumulated
+// open bucket for svc (from a context-switched-away process) continues to
+// accumulate; nesting of the same service is merged, which matches how the
+// paper reports utlb-during-read as utlb.
+func (c *Collector) BeginInvocation(svc Svc) {
+	// Nothing to do: invAcc[svc] accumulates while svc is innermost.
+}
+
+// EndInvocation closes an invocation of svc, folding its bucket into the
+// service totals and the per-invocation energy aggregate.
+func (c *Collector) EndInvocation(svc Svc) {
+	if svc == SvcNone {
+		return
+	}
+	st := &c.services[svc]
+	st.Invocations++
+	st.Total.Add(&c.invAcc[svc])
+	if c.energyFn != nil {
+		st.EnergyPerInv.Add(c.energyFn(&c.invAcc[svc]))
+	}
+	c.invAcc[svc] = Bucket{}
+}
+
+// AbortInvocation folds an abandoned invocation's activity into the service
+// totals without producing an invocation count or a per-invocation energy
+// sample. Used when a nested TLB refill aborts a handler: the handler will
+// be re-entered from scratch, and only the completed re-entry is one
+// invocation (otherwise Table 5's deviation would be polluted by the
+// partial attempts).
+func (c *Collector) AbortInvocation(svc Svc) {
+	if svc == SvcNone {
+		return
+	}
+	c.services[svc].Total.Add(&c.invAcc[svc])
+	c.invAcc[svc] = Bucket{}
+}
+
+// flush closes the current sample window at endCycle.
+func (c *Collector) flush(endCycle uint64) {
+	c.cur.End = endCycle
+	c.samples = append(c.samples, c.cur)
+	c.cur = Sample{Start: endCycle}
+}
+
+// Finish flushes the trailing partial window and returns the samples.
+func (c *Collector) Finish() []Sample {
+	if c.totalCycles > c.cur.Start {
+		c.flush(c.totalCycles)
+	}
+	return c.samples
+}
+
+// Samples returns the flushed windows so far.
+func (c *Collector) Samples() []Sample { return c.samples }
+
+// ServiceStats returns the aggregate for svc.
+func (c *Collector) ServiceStats(svc Svc) *ServiceStats { return &c.services[svc] }
+
+// TotalCycles returns the cycles recorded so far.
+func (c *Collector) TotalCycles() uint64 { return c.totalCycles }
+
+// TotalInsts returns the instructions recorded so far.
+func (c *Collector) TotalInsts() uint64 { return c.totalInsts }
+
+// ModeTotals sums all samples (plus the open window) per mode.
+func (c *Collector) ModeTotals() [NumModes]Bucket {
+	var out [NumModes]Bucket
+	for i := range c.samples {
+		for m := range out {
+			out[m].Add(&c.samples[i].Mode[m])
+		}
+	}
+	for m := range out {
+		out[m].Add(&c.cur.Mode[m])
+	}
+	return out
+}

@@ -1,0 +1,639 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"softwatt/internal/isa"
+	"softwatt/internal/kern"
+)
+
+// gen emits the benchmark program.
+type gen struct {
+	p   *Params
+	b   strings.Builder
+	lbl int
+}
+
+func newGen(p *Params) *gen { return &gen{p: p} }
+
+func (g *gen) l(format string, args ...any) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+// label returns a fresh unique label with the given hint.
+func (g *gen) label(hint string) string {
+	g.lbl++
+	return fmt.Sprintf("L%d_%s", g.lbl, hint)
+}
+
+// pow2KB rounds a KB count up to a power of two and returns bytes.
+func pow2KB(kb int) int {
+	n := 1
+	for n < kb*1024 {
+		n <<= 1
+	}
+	return n
+}
+
+func (g *gen) classFileName(i int) string { return fmt.Sprintf("%s%d.class", g.p.Name, i) }
+
+// files returns the benchmark's file-store contents: class files, the input
+// data file and a pre-sized output file.
+func (g *gen) files() []kern.File {
+	var fs []kern.File
+	seed := uint32(0x5EED0000 + uint32(len(g.p.Name)))
+	rnd := func() byte { seed = seed*1664525 + 1013904223; return byte(seed >> 16) }
+	fill := func(n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = rnd()
+		}
+		return b
+	}
+	for i := 0; i < g.p.ClassFiles; i++ {
+		fs = append(fs, kern.File{Name: g.classFileName(i), Data: fill(g.p.ClassFileBytes)})
+	}
+	fs = append(fs, kern.File{Name: "in.dat", Data: fill(g.p.InputFileBytes())})
+	out := g.p.OutputBytes
+	if out < kern.BlockSize {
+		out = kern.BlockSize
+	}
+	fs = append(fs, kern.File{Name: "out.dat", Data: make([]byte, out)})
+	return fs
+}
+
+// program emits the whole benchmark source.
+func (g *gen) program() string {
+	g.l("        .org 0x%08x", kern.UserTextBase)
+	g.l("_start:")
+	g.l("        jal main")
+	g.l("        move a0, v0")
+	g.l("        li v0, %d", kern.SysExit)
+	g.l("        syscall")
+	g.runtime()
+
+	g.l("main:")
+	g.l("        addiu sp, sp, -16")
+	g.l("        sw ra, 12(sp)")
+
+	// Heap arena setup and JIT warm-up run before the first file I/O so
+	// their (cold-cache) cost never appears as a disk-inactivity gap: the
+	// disk spindown policies only start timing after the first request
+	// completes, and Figure 9's gap structure is set by the compute
+	// segments between I/O bursts alone.
+	g.setup()
+	g.jit()
+	g.openFiles()
+	g.classload()
+
+	for r := 0; r < g.p.Rounds; r++ {
+		iters := g.p.ComputeIters
+		if r < len(g.p.ExtraGapIters) {
+			iters = g.p.ExtraGapIters[r]
+		}
+		g.compute(iters)
+		if g.p.BSDCalls > 0 {
+			g.bsdCalls((g.p.BSDCalls + g.p.Rounds - 1) / g.p.Rounds)
+		}
+		g.ioBurst()
+		g.gc()
+	}
+	g.output()
+	g.xstats()
+
+	g.l("        li v0, 0")
+	g.l("        lw ra, 12(sp)")
+	g.l("        addiu sp, sp, 16")
+	g.l("        ret")
+
+	g.data()
+	return g.b.String()
+}
+
+// runtime emits the syscall stubs and helpers.
+func (g *gen) runtime() {
+	stub := func(name string, num int) {
+		g.l("%s:", name)
+		g.l("        li v0, %d", num)
+		g.l("        syscall")
+		g.l("        ret")
+	}
+	stub("rt_open", kern.SysOpen)
+	stub("rt_close", kern.SysClose)
+	stub("rt_read", kern.SysRead)
+	stub("rt_write", kern.SysWrite)
+	stub("rt_sbrk", kern.SysSbrk)
+	stub("rt_gettime", kern.SysGettime)
+	stub("rt_cacheflush", kern.SysCacheflush)
+	stub("rt_xstat", kern.SysXstat)
+
+	// rt_readn(a0=fd, a1=bytes): read bytes sequentially into iobuf in
+	// requests of the benchmark's chunk size (jack issues many small
+	// reads, like the paper's 40k-invocation read profile).
+	chunk := g.p.ReadChunk
+	if chunk <= 0 || chunk > 4096 {
+		chunk = 4096
+	}
+	g.l("rt_readn:")
+	g.l("        addiu sp, sp, -16")
+	g.l("        sw ra, 12(sp)")
+	g.l("        sw s0, 8(sp)")
+	g.l("        sw s1, 4(sp)")
+	g.l("        move s0, a0")
+	g.l("        move s1, a1")
+	g.l("rn_loop:")
+	g.l("        blez s1, rn_done")
+	g.l("        li a2, %d", chunk)
+	g.l("        slt t0, s1, a2")
+	g.l("        beqz t0, rn_chunk")
+	g.l("        move a2, s1")
+	g.l("rn_chunk:")
+	g.l("        move a0, s0")
+	g.l("        la a1, iobuf")
+	g.l("        jal rt_read")
+	g.l("        blez v0, rn_done")
+	g.l("        subu s1, s1, v0")
+	g.l("        b rn_loop")
+	g.l("rn_done:")
+	g.l("        lw s1, 4(sp)")
+	g.l("        lw s0, 8(sp)")
+	g.l("        lw ra, 12(sp)")
+	g.l("        addiu sp, sp, 16")
+	g.l("        ret")
+
+	// rt_fail: exit(9) on unexpected failure.
+	g.l("rt_fail:")
+	g.l("        li a0, 9")
+	g.l("        li v0, %d", kern.SysExit)
+	g.l("        syscall")
+}
+
+// openFiles opens the input and output files.
+func (g *gen) openFiles() {
+	g.l("        la a0, f_in")
+	g.l("        jal rt_open")
+	g.l("        bltz v0, rt_fail")
+	g.l("        la t0, g_infd")
+	g.l("        sw v0, 0(t0)")
+	g.l("        la a0, f_out")
+	g.l("        jal rt_open")
+	g.l("        bltz v0, rt_fail")
+	g.l("        la t0, g_outfd")
+	g.l("        sw v0, 0(t0)")
+}
+
+// setup allocates and initialises the compute footprint.
+func (g *gen) setup() {
+	fp := pow2KB(g.p.FootprintKB)
+	g.l("        # ---- setup: footprint %d bytes ----", fp)
+	g.l("        li a0, %d", fp+4096)
+	g.l("        jal rt_sbrk")
+	g.l("        la t0, g_buf")
+	g.l("        sw v0, 0(t0)")
+
+	// Initialise the region. For jess the region becomes a linked list in
+	// pseudo-random order; otherwise a byte/word pattern.
+	switch g.p.Kind {
+	case KindJess:
+		g.initList(fp)
+	case KindMTRT:
+		g.initDoubles(fp)
+	default:
+		g.initWords(fp)
+	}
+}
+
+func (g *gen) initWords(fp int) {
+	// Line-granularity initialisation: touching one word per cache line
+	// faults every page in (demand_zero) and seeds the data without a
+	// multi-millisecond init phase that would distort the disk-gap
+	// structure of Figure 9.
+	loop := g.label("initw")
+	g.l("        la t0, g_buf")
+	g.l("        lw t0, 0(t0)")
+	g.l("        li t1, %d", fp/64)
+	g.l("        li t2, 0x1234567")
+	g.l("%s:", loop)
+	g.l("        sw t2, 0(t0)")
+	g.l("        addu t2, t2, t1")
+	g.l("        addiu t0, t0, 64")
+	g.l("        addiu t1, t1, -1")
+	g.l("        bnez t1, %s", loop)
+}
+
+// initList builds a pseudo-random linked list of cache-line-sized nodes
+// across the footprint (node i links to node (i*65539+1) masked into the
+// region), so the chase touches a fresh line — and frequently a fresh
+// page — on every hop.
+func (g *gen) initList(fp int) {
+	n := fp / 64
+	loop := g.label("initl")
+	g.l("        la t0, g_buf")
+	g.l("        lw t0, 0(t0)")
+	g.l("        li t1, 0")        // i
+	g.l("        li t2, %d", n)    // count
+	g.l("        li t3, %d", fp-1) // offset mask
+	g.l("%s:", loop)
+	// next index = (i*65539 + 1) masked into the region, node aligned
+	g.l("        li t4, 65539")
+	g.l("        mul t4, t1, t4")
+	g.l("        addiu t4, t4, 1")
+	g.l("        sll t4, t4, 6")
+	g.l("        and t4, t4, t3")
+	g.l("        srl t4, t4, 6")
+	g.l("        sll t4, t4, 6") // align to the 64-byte node
+	g.l("        addu t5, t0, t4")
+	g.l("        sll t6, t1, 6")
+	g.l("        addu t6, t0, t6")
+	g.l("        sw t5, 0(t6)") // node[i].next
+	g.l("        sw t1, 4(t6)") // node[i].val
+	g.l("        addiu t1, t1, 1")
+	g.l("        bne t1, t2, %s", loop)
+	g.l("        la t0, g_buf")
+	g.l("        lw t0, 0(t0)")
+	g.l("        la t1, g_cursor")
+	g.l("        sw t0, 0(t1)")
+}
+
+func (g *gen) initDoubles(fp int) {
+	loop := g.label("initd")
+	g.l("        la t0, g_buf")
+	g.l("        lw t0, 0(t0)")
+	g.l("        li t1, %d", fp/8)
+	g.l("        li t2, 3")
+	g.l("        mtc1 t2, f0")
+	g.l("        cvt.d.w f0, f0") // 3.0
+	g.l("        li t2, 7")
+	g.l("        mtc1 t2, f2")
+	g.l("        cvt.d.w f2, f2")  // 7.0
+	g.l("        fdiv f4, f0, f2") // 0.428...
+	g.l("%s:", loop)
+	g.l("        fsd f4, 0(t0)")
+	g.l("        fsd f4, 8(t0)")
+	g.l("        fadd f4, f4, f0")
+	g.l("        addiu t0, t0, 64")
+	g.l("        addiu t1, t1, -8")
+	g.l("        bgtz t1, %s", loop)
+	// f12 = 1.0 + 1/1024 for the divide kernel
+	g.l("        li t2, 1025")
+	g.l("        mtc1 t2, f6")
+	g.l("        cvt.d.w f6, f6")
+	g.l("        li t2, 1024")
+	g.l("        mtc1 t2, f8")
+	g.l("        cvt.d.w f8, f8")
+	g.l("        fdiv f12, f6, f8")
+}
+
+// classload opens and reads every class file, then closes it.
+func (g *gen) classload() {
+	g.l("        # ---- class loading phase ----")
+	for i := 0; i < g.p.ClassFiles; i++ {
+		g.l("        la a0, f_cls%d", i)
+		g.l("        jal rt_open")
+		g.l("        bltz v0, rt_fail")
+		g.l("        la t0, g_fd")
+		g.l("        sw v0, 0(t0)")
+		g.l("        move a0, v0")
+		g.l("        li a1, %d", g.p.ClassFileBytes)
+		g.l("        jal rt_readn")
+		g.l("        la t0, g_fd")
+		g.l("        lw a0, 0(t0)")
+		g.l("        jal rt_close")
+	}
+}
+
+// jit emits JIT warm-up: allocate a region, fill it with real encoded
+// instructions, cacheflush it, and execute it.
+func (g *gen) jit() {
+	nop := isa.Encode(isa.Inst{Op: isa.OpADDIU, Rt: isa.RegAT, Rs: isa.RegAT, Imm: 1})
+	ret := isa.Encode(isa.Inst{Op: isa.OpJR, Rs: isa.RegRA})
+	for r := 0; r < g.p.JITRegions; r++ {
+		loop := g.label("jitfill")
+		g.l("        # ---- JIT region %d ----", r)
+		g.l("        li a0, %d", g.p.JITRegionBytes)
+		g.l("        jal rt_sbrk")
+		g.l("        la t0, g_jit")
+		g.l("        sw v0, 0(t0)")
+		g.l("        move t0, v0")
+		g.l("        li t1, %d", g.p.JITRegionBytes/4-1)
+		g.l("        li t2, 0x%08x", nop)
+		g.l("%s:", loop)
+		g.l("        sw t2, 0(t0)")
+		g.l("        addiu t0, t0, 4")
+		g.l("        addiu t1, t1, -1")
+		g.l("        bnez t1, %s", loop)
+		g.l("        li t2, 0x%08x", ret)
+		g.l("        sw t2, 0(t0)")
+		// cacheflush(base, bytes) so the stale I-cache lines are purged,
+		// then call the generated code.
+		g.l("        la t0, g_jit")
+		g.l("        lw a0, 0(t0)")
+		g.l("        li a1, %d", g.p.JITRegionBytes)
+		g.l("        jal rt_cacheflush")
+		g.l("        la t0, g_jit")
+		g.l("        lw t0, 0(t0)")
+		g.l("        jalr t0")
+	}
+}
+
+// compute emits the benchmark kernel for the given iteration count.
+func (g *gen) compute(iters int) {
+	fp := pow2KB(g.p.FootprintKB)
+	mask := fp - 1
+	g.l("        # ---- compute (%d iters) ----", iters)
+	g.l("        la t8, g_buf")
+	g.l("        lw t8, 0(t8)")
+	g.l("        li t9, %d", iters)
+	g.l("        li s5, %d", mask)
+	g.l("        li s3, 0")
+	g.l("        li s4, 12345")
+	loop := g.label("k")
+	skip := g.label("ks")
+	// pad emits ILPPad independent single-cycle ops (on registers no
+	// kernel uses) to set the benchmark's user-mode ILP and to dilute the
+	// TLB-miss frequency to the paper's per-instruction rates.
+	pad := func() {
+		for i := 0; i < g.p.ILPPad; i++ {
+			switch i % 4 {
+			case 0:
+				g.l("        addu v1, v1, s4")
+			case 1:
+				g.l("        lw at, 0(sp)") // hot stack line: dL1 traffic
+			case 2:
+				g.l("        xor at, at, v1")
+			case 3:
+				g.l("        addiu v1, v1, 3")
+			}
+		}
+	}
+	switch g.p.Kind {
+	case KindCompress:
+		// Strided byte stream: a window into a corpus much larger than the
+		// TLB reach, so refills recur at the rate a multi-megabyte stream
+		// would produce.
+		g.l("%s:", loop)
+		g.l("        and t0, s3, s5")
+		g.l("        addu t0, t8, t0")
+		g.l("        lbu t1, 0(t0)")
+		g.l("        sll t2, t1, 1")
+		g.l("        xor s4, s4, t2")
+		g.l("        addu t3, t1, s4")
+		g.l("        andi t3, t3, 255")
+		g.l("        sb t3, 0(t0)")
+		g.l("        addiu s3, s3, 136")
+		pad()
+		g.l("        addiu t9, t9, -1")
+		g.l("        bnez t9, %s", loop)
+
+	case KindJess:
+		g.l("        la t7, g_cursor")
+		g.l("        lw t0, 0(t7)")
+		g.l("%s:", loop)
+		g.l("        lw t1, 0(t0)") // next
+		g.l("        lw t2, 4(t0)") // val
+		g.l("        addu s4, s4, t2")
+		g.l("        xor t3, t2, s4")
+		g.l("        sll t4, t2, 2")
+		g.l("        addu t5, t4, t3")
+		g.l("        andi t6, t5, 1")
+		g.l("        beqz t6, %s", skip)
+		g.l("        addiu s4, s4, 3")
+		g.l("%s:", skip)
+		g.l("        move t0, t1")
+		pad()
+		g.l("        addiu t9, t9, -1")
+		g.l("        bnez t9, %s", loop)
+		g.l("        sw t0, 0(t7)")
+
+	case KindDB:
+		g.l("        li s6, 1103515245")
+		g.l("%s:", loop)
+		g.l("        mul s4, s4, s6")
+		g.l("        addiu s4, s4, 12345")
+		g.l("        srl t0, s4, 8")
+		g.l("        and t0, t0, s5")
+		g.l("        srl t0, t0, 2")
+		g.l("        sll t0, t0, 2")
+		g.l("        addu t1, t8, t0")
+		g.l("        lw t2, 0(t1)")
+		g.l("        slt t3, t2, s4")
+		g.l("        beqz t3, %s", skip)
+		g.l("        addu s3, s3, t2")
+		g.l("%s:", skip)
+		pad()
+		g.l("        addiu t9, t9, -1")
+		g.l("        bnez t9, %s", loop)
+
+	case KindJavac:
+		g.l("        li s6, 1664525")
+		g.l("        li s7, 1013904223")
+		g.l("%s:", loop)
+		g.l("        mul s4, s4, s6")
+		g.l("        addu s4, s4, s7")
+		g.l("        srl t0, s4, 9")
+		g.l("        and t0, t0, s5")
+		g.l("        srl t0, t0, 3")
+		g.l("        sll t0, t0, 3")
+		g.l("        addu t1, t8, t0")
+		g.l("        xor t2, t0, s5")
+		g.l("        srl t2, t2, 3")
+		g.l("        sll t2, t2, 3")
+		g.l("        addu t2, t8, t2")
+		g.l("        lw t3, 0(t1)")
+		g.l("        lw t4, 4(t1)")
+		g.l("        sw t3, 0(t2)")
+		g.l("        sw t4, 4(t2)")
+		g.l("        andi t5, t3, 252")
+		g.l("        addu t6, t8, t5")
+		g.l("        lbu t7, 0(t6)")
+		g.l("        addu s3, s3, t7")
+		pad()
+		g.l("        addiu t9, t9, -1")
+		g.l("        bnez t9, %s", loop)
+
+	case KindMTRT:
+		// Rays walk the scene page by page, hitting scattered objects
+		// within each page: the page advances every 32 iterations and the
+		// intra-page offset comes from an LCG, giving the paper-like TLB
+		// refill rate of a large ray-traced scene.
+		g.l("        li s6, 1103515245")
+		g.l("%s:", loop)
+		g.l("        mul s4, s4, s6")
+		g.l("        addiu s4, s4, 12345")
+		g.l("        sll t0, s3, 3")
+		g.l("        and t0, t0, s5")
+		g.l("        srl t0, t0, 12")
+		g.l("        sll t0, t0, 12")
+		g.l("        srl t3, s4, 3")
+		g.l("        andi t3, t3, 0xff0")
+		g.l("        or t0, t0, t3")
+		g.l("        addu t1, t8, t0")
+		g.l("        fld f2, 0(t1)")
+		g.l("        fld f4, 8(t1)")
+		g.l("        fmul f6, f2, f4")
+		g.l("        fadd f8, f8, f6")
+		g.l("        fsub f10, f6, f2")
+		g.l("        fadd f8, f8, f10")
+		g.l("        addiu s3, s3, 16")
+		g.l("        andi t2, s3, 4095")
+		g.l("        bnez t2, %s", skip)
+		g.l("        fdiv f8, f8, f12")
+		g.l("%s:", skip)
+		pad()
+		g.l("        addiu t9, t9, -1")
+		g.l("        bnez t9, %s", loop)
+
+	case KindJack:
+		d2 := g.label("kd")
+		d3 := g.label("kn")
+		g.l("        li s6, 1664525")
+		g.l("%s:", loop)
+		g.l("        and t0, s3, s5")
+		g.l("        addu t1, t8, t0")
+		g.l("        lbu t2, 0(t1)")
+		g.l("        addiu s3, s3, 1")
+		g.l("        addiu t3, t2, -48") // digit?
+		g.l("        sltiu t3, t3, 10")
+		g.l("        bnez t3, %s", d2)
+		g.l("        addiu t3, t2, -97") // lower alpha?
+		g.l("        sltiu t3, t3, 26")
+		g.l("        bnez t3, %s", skip)
+		g.l("        addiu s4, s4, 1") // delimiter: symbol-table lookup
+		g.l("        mul s4, s4, s6")
+		// The hash bucket page drifts with the scan position; the slot
+		// within the page is hash-random (parser tables have page-level
+		// locality, refilling the TLB at a corpus-like rate).
+		g.l("        sll t4, s3, 8")
+		g.l("        and t4, t4, s5")
+		g.l("        srl t4, t4, 12")
+		g.l("        sll t4, t4, 12")
+		g.l("        srl t5, s4, 9")
+		g.l("        andi t5, t5, 0xffc")
+		g.l("        or t4, t4, t5")
+		g.l("        addu t4, t8, t4")
+		g.l("        lw t5, 0(t4)")
+		g.l("        addu s4, s4, t5")
+		g.l("        b %s", d3)
+		g.l("%s:", d2)
+		g.l("        sll t4, t2, 1")
+		g.l("        addu s4, s4, t4")
+		g.l("        b %s", d3)
+		g.l("%s:", skip)
+		g.l("        xor s4, s4, t2")
+		g.l("%s:", d3)
+		pad()
+		g.l("        addiu t9, t9, -1")
+		g.l("        bnez t9, %s", loop)
+	}
+}
+
+// ioBurst reads the next chunk of the input file (fresh data: sequential
+// offsets, so each burst reaches the disk rather than the file cache).
+func (g *gen) ioBurst() {
+	if g.p.IOBurstBytes == 0 {
+		return
+	}
+	g.l("        # ---- I/O burst ----")
+	g.l("        la t0, g_infd")
+	g.l("        lw a0, 0(t0)")
+	g.l("        li a1, %d", g.p.IOBurstBytes)
+	g.l("        jal rt_readn")
+}
+
+// gc touches fresh heap pages (demand_zero) and copies live data.
+func (g *gen) gc() {
+	if g.p.GCPages == 0 {
+		return
+	}
+	touch := g.label("gct")
+	cp := g.label("gcc")
+	g.l("        # ---- GC sweep ----")
+	g.l("        li a0, %d", g.p.GCPages*4096)
+	g.l("        jal rt_sbrk")
+	g.l("        move t0, v0")
+	g.l("        li t1, %d", g.p.GCPages)
+	g.l("%s:", touch)
+	g.l("        sw t1, 0(t0)")
+	g.l("        addiu t0, t0, 4096")
+	g.l("        addiu t1, t1, -1")
+	g.l("        bnez t1, %s", touch)
+	// copy live data from the footprint into the new space
+	g.l("        move t0, v0")
+	g.l("        la t1, g_buf")
+	g.l("        lw t1, 0(t1)")
+	g.l("        li t2, %d", g.p.GCCopyKB*1024/4)
+	g.l("%s:", cp)
+	g.l("        lw t3, 0(t1)")
+	g.l("        sw t3, 0(t0)")
+	g.l("        addiu t0, t0, 4")
+	g.l("        addiu t1, t1, 4")
+	g.l("        addiu t2, t2, -1")
+	g.l("        bnez t2, %s", cp)
+}
+
+// bsdCalls sprinkles gettime/sbrk(0) calls (the paper's BSD bucket).
+func (g *gen) bsdCalls(n int) {
+	loop := g.label("bsd")
+	g.l("        li s6, %d", n)
+	g.l("%s:", loop)
+	g.l("        jal rt_gettime")
+	g.l("        li a0, 0")
+	g.l("        jal rt_sbrk")
+	g.l("        addiu s6, s6, -1")
+	g.l("        bnez s6, %s", loop)
+}
+
+// output writes results to the output file and a line to the console.
+func (g *gen) output() {
+	if g.p.OutputBytes > 0 {
+		loop := g.label("outw")
+		g.l("        # ---- output ----")
+		g.l("        li s6, %d", (g.p.OutputBytes+4095)/4096)
+		g.l("%s:", loop)
+		g.l("        la t0, g_outfd")
+		g.l("        lw a0, 0(t0)")
+		g.l("        la a1, iobuf")
+		g.l("        li a2, 4096")
+		g.l("        jal rt_write")
+		g.l("        addiu s6, s6, -1")
+		g.l("        bnez s6, %s", loop)
+	}
+	g.l("        li a0, 1")
+	g.l("        la a1, donemsg")
+	g.l("        li a2, %d", len(g.p.Name)+6)
+	g.l("        jal rt_write")
+}
+
+func (g *gen) xstats() {
+	for i := 0; i < g.p.XStats; i++ {
+		g.l("        la a0, f_cls%d", i%max(1, g.p.ClassFiles))
+		g.l("        jal rt_xstat")
+	}
+}
+
+// data emits the static data segment.
+func (g *gen) data() {
+	g.l("        .align 8")
+	g.l("g_buf:    .word 0")
+	g.l("g_cursor: .word 0")
+	g.l("g_jit:    .word 0")
+	g.l("g_infd:   .word 0")
+	g.l("g_outfd:  .word 0")
+	g.l("g_fd:     .word 0")
+	for i := 0; i < g.p.ClassFiles; i++ {
+		g.l("f_cls%d:  .asciiz %q", i, g.classFileName(i))
+	}
+	g.l("f_in:     .asciiz \"in.dat\"")
+	g.l("f_out:    .asciiz \"out.dat\"")
+	g.l("donemsg:  .asciiz %q", g.p.Name+" done\n")
+	g.l("        .align 8")
+	g.l("iobuf:    .space 4096")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

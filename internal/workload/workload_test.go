@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"softwatt/internal/machine"
+	"softwatt/internal/trace"
+)
+
+func runOn(t *testing.T, name string, core machine.CoreKind) *machine.Machine {
+	t.Helper()
+	w, err := Build(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Core = core
+	cfg.RAMBytes = 64 << 20
+	cfg.MaxCycles = 200_000_000
+	m, err := machine.New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatalf("%s: %v; console=%q; faults=%v", name, err, m.Console(), m.Faults)
+	}
+	if m.ExitCode() != 0 {
+		t.Fatalf("%s: exit %d; console=%q", name, m.ExitCode(), m.Console())
+	}
+	return m
+}
+
+func TestAllBenchmarksCompleteOnMipsy(t *testing.T) {
+	for _, name := range Names {
+		m := runOn(t, name, machine.CoreMipsy)
+		if !strings.Contains(m.Console(), name+" done") {
+			t.Fatalf("%s: missing completion banner: %q", name, m.Console())
+		}
+		tot := m.Collector().ModeTotals()
+		var all uint64
+		for _, b := range tot {
+			all += b.Cycles
+		}
+		user := float64(tot[trace.ModeUser].Cycles) / float64(all)
+		kern := float64(tot[trace.ModeKernel].Cycles+tot[trace.ModeSync].Cycles) / float64(all)
+		idle := float64(tot[trace.ModeIdle].Cycles) / float64(all)
+		// Table 2 shape: user mode dominates, kernel is substantial but
+		// smaller, idle is a minority.
+		if user < 0.5 {
+			t.Errorf("%s: user share %.2f too low", name, user)
+		}
+		if kern <= 0.02 || kern > 0.45 {
+			t.Errorf("%s: kernel share %.2f out of range", name, kern)
+		}
+		if idle > 0.30 {
+			t.Errorf("%s: idle share %.2f too high", name, idle)
+		}
+		// Every benchmark must exercise the paper's core services.
+		col := m.Collector()
+		for _, s := range []trace.Svc{trace.SvcUTLB, trace.SvcRead, trace.SvcOpen,
+			trace.SvcDemandZero, trace.SvcVFault, trace.SvcTLBMiss,
+			trace.SvcCacheFlush, trace.SvcBSD} {
+			if col.ServiceStats(s).Invocations == 0 {
+				t.Errorf("%s: service %v never invoked", name, s)
+			}
+		}
+	}
+}
+
+func TestUTLBDominatesKernelOnTLBHeavyBenchmarks(t *testing.T) {
+	// The paper's Table 4: utlb accounts for the bulk of kernel activity.
+	for _, name := range []string{"jess", "db", "javac"} {
+		m := runOn(t, name, machine.CoreMipsy)
+		col := m.Collector()
+		utlb := col.ServiceStats(trace.SvcUTLB)
+		if utlb.Invocations < 1000 {
+			t.Errorf("%s: only %d utlb refills", name, utlb.Invocations)
+		}
+		// utlb must have more invocations than every other service by far.
+		for s := trace.Svc(1); s < trace.NumSvc; s++ {
+			if s == trace.SvcUTLB {
+				continue
+			}
+			if n := col.ServiceStats(s).Invocations; n*10 > utlb.Invocations {
+				t.Errorf("%s: service %v has %d invocations vs utlb %d",
+					name, s, n, utlb.Invocations)
+			}
+		}
+	}
+}
+
+func TestJackIsReadHeavy(t *testing.T) {
+	// jack's signature in the paper is its enormous read() count.
+	m := runOn(t, "jack", machine.CoreMipsy)
+	reads := m.Collector().ServiceStats(trace.SvcRead).Invocations
+	if reads < 90 {
+		t.Fatalf("jack reads = %d, want many small reads", reads)
+	}
+	for _, other := range Names {
+		if other == "jack" {
+			continue
+		}
+	}
+}
+
+func TestMTRTUsesFloatingPoint(t *testing.T) {
+	m := runOn(t, "mtrt", machine.CoreMipsy)
+	tot := m.Collector().ModeTotals()
+	if tot[trace.ModeUser].Units[trace.UnitFPU] < 100000 {
+		t.Fatalf("mtrt FPU ops = %d", tot[trace.ModeUser].Units[trace.UnitFPU])
+	}
+	// And the others are integer-dominated.
+	m2 := runOn(t, "db", machine.CoreMipsy)
+	t2 := m2.Collector().ModeTotals()
+	if t2[trace.ModeUser].Units[trace.UnitFPU] > tot[trace.ModeUser].Units[trace.UnitFPU]/100 {
+		t.Fatalf("db FPU ops unexpectedly high: %d", t2[trace.ModeUser].Units[trace.UnitFPU])
+	}
+}
+
+func TestKernelShareRisesOnSuperscalar(t *testing.T) {
+	// The paper §3.2: kernel activity grows from 14.28% (single-issue) to
+	// 21.02% (superscalar) because kernel code has lower IPC and worse
+	// branch prediction. Verify the same direction here.
+	kernShare := func(m *machine.Machine) float64 {
+		tot := m.Collector().ModeTotals()
+		var all uint64
+		for _, b := range tot {
+			all += b.Cycles
+		}
+		return float64(tot[trace.ModeKernel].Cycles+tot[trace.ModeSync].Cycles) / float64(all)
+	}
+	inorder := kernShare(runOn(t, "jess", machine.CoreMipsy))
+	ooo := kernShare(runOn(t, "jess", machine.CoreMXS))
+	if ooo <= inorder {
+		t.Fatalf("kernel share did not rise on MXS: %.3f -> %.3f", inorder, ooo)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	// Two identical runs must produce identical statistics (the whole
+	// simulator is deterministic).
+	a := runOn(t, "compress", machine.CoreMipsy)
+	b := runOn(t, "compress", machine.CoreMipsy)
+	if a.Cycle() != b.Cycle() || a.Committed != b.Committed {
+		t.Fatalf("nondeterminism: %d/%d vs %d/%d cycles/insts",
+			a.Cycle(), a.Committed, b.Cycle(), b.Committed)
+	}
+	at, bt := a.Collector().ModeTotals(), b.Collector().ModeTotals()
+	for m := range at {
+		if at[m] != bt[m] {
+			t.Fatalf("mode %d totals differ", m)
+		}
+	}
+}
+
+func TestBuildUnknownBenchmark(t *testing.T) {
+	if _, err := Build("nosuch"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestParamsInputFile(t *testing.T) {
+	p := Benchmarks()["jess"]
+	if p.InputFileBytes() < p.Rounds*p.IOBurstBytes {
+		t.Fatal("input file smaller than total burst bytes")
+	}
+}
+
+func TestGeneratedProgramsAssembleForAll(t *testing.T) {
+	for name, p := range Benchmarks() {
+		w, err := BuildParams(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w.Entry == 0 || w.Program.Size() == 0 {
+			t.Fatalf("%s: empty program", name)
+		}
+		// Must include class files + in.dat + out.dat.
+		if len(w.Files) != p.ClassFiles+2 {
+			t.Fatalf("%s: %d files", name, len(w.Files))
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package softwatt is a complete-machine power simulator in the spirit of
+// "Using Complete Machine Simulation for Software Power Estimation: The
+// SoftWatt Approach" (Gurumurthi et al., HPCA 2002).
+//
+// It boots a small IRIX-like operating system on a simulated MIPS-like
+// machine (an in-order Mipsy core or an R10000-like out-of-order MXS core,
+// a two-level cache hierarchy, a software-managed TLB, and a disk with the
+// Toshiba MK3003MAN power-mode state machine), runs synthetic SpecJVM98-
+// style workloads on it, and post-processes the sampled activity through
+// validated analytical power models into per-mode, per-kernel-service and
+// per-component power and energy profiles.
+//
+// Quick start:
+//
+//	res, err := softwatt.Run("jess", softwatt.Options{})
+//	est := softwatt.NewEstimator()
+//	fmt.Println(est.Summarize(res))
+package softwatt
+
+import (
+	"fmt"
+
+	"softwatt/internal/core"
+	"softwatt/internal/disk"
+	"softwatt/internal/machine"
+	"softwatt/internal/power"
+	"softwatt/internal/trace"
+	"softwatt/internal/workload"
+)
+
+// Re-exported result and report types. These aliases form the public API
+// surface over the internal implementation packages.
+type (
+	// RunResult carries everything a finished simulation produced.
+	RunResult = core.RunResult
+	// Estimator converts run results into power/energy reports.
+	Estimator = core.Estimator
+	// Summary is the headline metrics of one run.
+	Summary = core.Summary
+	// ModeShare is a Table 2 row (cycles vs energy per software mode).
+	ModeShare = core.ModeShare
+	// CacheRefs is a Table 3 row (cache references per cycle per mode).
+	CacheRefs = core.CacheRefs
+	// ServiceRow is a Table 4 row (kernel service cycles vs energy).
+	ServiceRow = core.ServiceRow
+	// VariationRow is a Table 5 row (per-invocation energy variation).
+	VariationRow = core.VariationRow
+	// Budget is the Figure 5/7 system power budget.
+	Budget = core.Budget
+	// StackedPower is a Figure 6/8 per-component power breakdown.
+	StackedPower = core.StackedPower
+	// ProfilePoint is a Figure 3/4 time-series sample.
+	ProfilePoint = core.ProfilePoint
+	// Mode is a software execution mode (user/kernel/sync/idle).
+	Mode = trace.Mode
+	// Svc identifies a kernel service.
+	Svc = trace.Svc
+	// PowerModel is the evaluated analytical power model.
+	PowerModel = power.Model
+)
+
+// Software execution modes.
+const (
+	ModeUser   = trace.ModeUser
+	ModeKernel = trace.ModeKernel
+	ModeSync   = trace.ModeSync
+	ModeIdle   = trace.ModeIdle
+	NumModes   = trace.NumModes
+)
+
+// Kernel services characterised by the paper.
+const (
+	SvcUTLB       = trace.SvcUTLB
+	SvcTLBMiss    = trace.SvcTLBMiss
+	SvcVFault     = trace.SvcVFault
+	SvcDemandZero = trace.SvcDemandZero
+	SvcCacheFlush = trace.SvcCacheFlush
+	SvcRead       = trace.SvcRead
+	SvcWrite      = trace.SvcWrite
+	SvcOpen       = trace.SvcOpen
+	SvcXStat      = trace.SvcXStat
+	SvcBSD        = trace.SvcBSD
+	SvcClock      = trace.SvcClock
+	SvcDuPoll     = trace.SvcDuPoll
+)
+
+// Benchmarks lists the six SpecJVM98-style workloads.
+var Benchmarks = workload.Names
+
+// Options configure one simulation run.
+type Options struct {
+	// Core selects the CPU timing model: "mipsy" (in-order, default),
+	// "mxs" (4-wide out-of-order), or "mxs1" (MXS configured single-issue,
+	// the paper's Figure 3 configuration).
+	Core string
+	// DiskPolicy selects the paper's §4 configurations: "conventional"
+	// (default), "idle", "standby2" (2 s scaled threshold) or "standby4".
+	DiskPolicy string
+	// RAMBytes sizes physical memory (default 128 MB, Table 1).
+	RAMBytes int
+	// MaxCycles bounds the simulation (default 2e9).
+	MaxCycles uint64
+	// WindowCycles sets the statistics sampling window (default 20000).
+	WindowCycles uint64
+	// TimerCycles sets the clock-tick period (default 100000).
+	TimerCycles uint32
+	// IdleHalt enables the paper's §5 proposed optimization: the idle loop
+	// halts the processor (WAIT) instead of busy-waiting, eliminating the
+	// idle process's pipeline activity.
+	IdleHalt bool
+}
+
+// MachineConfig resolves the options into a machine configuration.
+func (o Options) MachineConfig() (machine.Config, error) {
+	cfg := machine.DefaultConfig()
+	switch o.Core {
+	case "", "mipsy":
+		cfg.Core = machine.CoreMipsy
+	case "mxs":
+		cfg.Core = machine.CoreMXS
+	case "mxs1":
+		cfg.Core = machine.CoreMXS1
+	default:
+		return cfg, fmt.Errorf("softwatt: unknown core %q", o.Core)
+	}
+	switch o.DiskPolicy {
+	case "", "conventional":
+		cfg.Disk.Policy = disk.PolicyConventional
+	case "idle":
+		cfg.Disk.Policy = disk.PolicyIdle
+	case "standby2":
+		cfg.Disk.Policy = disk.PolicyStandby
+		cfg.Disk.SpindownThresholdSec = 2.0
+	case "standby4":
+		cfg.Disk.Policy = disk.PolicyStandby
+		cfg.Disk.SpindownThresholdSec = 4.0
+	default:
+		return cfg, fmt.Errorf("softwatt: unknown disk policy %q", o.DiskPolicy)
+	}
+	if o.RAMBytes > 0 {
+		cfg.RAMBytes = o.RAMBytes
+	}
+	if o.MaxCycles > 0 {
+		cfg.MaxCycles = o.MaxCycles
+	}
+	if o.WindowCycles > 0 {
+		cfg.WindowCycles = o.WindowCycles
+	}
+	if o.TimerCycles > 0 {
+		cfg.TimerCycles = o.TimerCycles
+	}
+	cfg.IdleHalt = o.IdleHalt
+	return cfg, nil
+}
+
+// Run simulates one named benchmark to completion and returns its results.
+func Run(benchmark string, opt Options) (*RunResult, error) {
+	cfg, err := opt.MachineConfig()
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.Build(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	// Per-invocation service energy (the paper's Table 5) is the one CPU
+	// quantity measured online, so wire the power model in.
+	model := power.Default()
+	m.Collector().SetEnergyFn(model.InvocationEnergy)
+	if err := m.Run(0); err != nil {
+		return nil, fmt.Errorf("softwatt: %s: %w (console: %q)", benchmark, err, m.Console())
+	}
+	if m.ExitCode() != 0 {
+		return nil, fmt.Errorf("softwatt: %s exited with code %d (console: %q)",
+			benchmark, m.ExitCode(), m.Console())
+	}
+	return core.Collect(m, benchmark, cfg.Core.String()), nil
+}
+
+// RunAll simulates every benchmark with the same options.
+func RunAll(opt Options) ([]*RunResult, error) {
+	var out []*RunResult
+	for _, b := range Benchmarks {
+		r, err := Run(b, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// NewEstimator returns an estimator over the paper's Table 1 power model.
+func NewEstimator() *Estimator {
+	return core.NewEstimator(power.Default())
+}
+
+// DefaultModel returns the evaluated power model (0.35 µm, 3.3 V, 200 MHz).
+func DefaultModel() *PowerModel { return power.Default() }
+
+// ValidateMaxPower returns the modelled maximum R10000-class CPU power; the
+// paper validates this as 25.3 W against the 30 W datasheet figure.
+func ValidateMaxPower() float64 { return power.Default().R10000MaxPowerW() }
+
+// Fig9Row is one cell of the paper's Figure 9 disk study.
+type Fig9Row = core.Fig9Row
+
+// DiskPolicies lists the paper's four §4 disk configurations in order.
+var DiskPolicies = []string{"conventional", "idle", "standby2", "standby4"}
+
+// SweepDiskConfigs runs every benchmark under each of the four disk
+// power-management configurations of §4 and returns the Figure 9 data
+// (disk energy and total idle cycles per cell). The sweep uses the Mipsy
+// core, the fast first-pass model the paper uses for memory and disk
+// behaviour.
+func SweepDiskConfigs(benchmarks []string) ([]Fig9Row, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = Benchmarks
+	}
+	var rows []Fig9Row
+	for _, b := range benchmarks {
+		for _, pol := range DiskPolicies {
+			r, err := Run(b, Options{Core: "mipsy", DiskPolicy: pol})
+			if err != nil {
+				return nil, fmt.Errorf("sweep %s/%s: %w", b, pol, err)
+			}
+			rows = append(rows, Fig9Row{
+				Benchmark:  b,
+				Policy:     pol,
+				DiskJ:      r.DiskEnergyJ,
+				IdleCycles: r.IdleCycles,
+				Spinups:    r.DiskStats.Spinups,
+				Spindowns:  r.DiskStats.Spindowns,
+				Cycles:     r.TotalCycles,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig9 renders sweep rows as the Figure 9 report.
+func RenderFig9(rows []Fig9Row) string { return core.RenderFig9(rows) }
+
+// TraceEstimate is the result of the paper's §5 proposal: estimating a
+// workload's kernel energy from a service-invocation trace plus calibrated
+// per-service mean energies, without detailed simulation.
+type TraceEstimate = core.TraceEstimate
