@@ -286,6 +286,29 @@ func BenchmarkX1KernelShareAcrossCores(b *testing.B) {
 	}
 }
 
+// BenchmarkFig9SweepWorkers measures the wall clock of the full 24-cell
+// Figure 9 sweep at increasing worker counts. The cells are independent
+// simulations, so on a machine with 4+ cores the j4/j8 variants should
+// complete the sweep at least 2x faster than j1 while producing the same
+// rows (the equivalence itself is asserted by TestSweepParallelMatchesSerial).
+// Run with -bench Fig9SweepWorkers and compare ns/op across sub-benchmarks.
+func BenchmarkFig9SweepWorkers(b *testing.B) {
+	for _, j := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := SweepDiskConfigsBatch(nil, nil, BatchOptions{Workers: j})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != len(Benchmarks)*len(DiskPolicies) {
+					b.Fatalf("%d rows, want %d", len(rows), len(Benchmarks)*len(DiskPolicies))
+				}
+			}
+			b.ReportMetric(float64(len(Benchmarks)*len(DiskPolicies))/b.Elapsed().Seconds()*float64(b.N), "cells/s")
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed on both cores
 // (cycles simulated per wall second) — an engineering metric, not a paper
 // artifact.

@@ -1,12 +1,16 @@
-// Command softwatt runs one benchmark on the simulated machine and prints
-// its power/energy characterization: the run summary, the mode breakdown,
-// the kernel-service table, and (optionally) the execution/power time
-// profile.
+// Command softwatt runs one or more benchmarks on the simulated machine and
+// prints each one's power/energy characterization: the run summary, the
+// mode breakdown, the kernel-service table, and (optionally) the
+// execution/power time profile.
+//
+// With several benchmarks the independent simulations fan out over a worker
+// pool (-j) with per-run progress on stderr; reports print in argument
+// order regardless of parallelism.
 //
 // Usage:
 //
 //	softwatt [-core mipsy|mxs|mxs1] [-disk conventional|idle|standby2|standby4]
-//	         [-profile] [-services] [-log file] <benchmark>
+//	         [-j N] [-profile] [-services] [-log file] <benchmark ...>
 //
 // Benchmarks: compress jess db javac mtrt jack
 package main
@@ -23,45 +27,48 @@ import (
 func main() {
 	coreKind := flag.String("core", "mxs", "CPU timing model: mipsy, mxs, mxs1")
 	diskPol := flag.String("disk", "conventional", "disk policy: conventional, idle, standby2, standby4")
+	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = one per CPU)")
 	profile := flag.Bool("profile", false, "print the execution/power time profile (paper Figs. 3/4)")
 	services := flag.Bool("services", true, "print the kernel service table (paper Table 4)")
-	logFile := flag.String("log", "", "write the sampled statistics log to this file")
+	logFile := flag.String("log", "", "write the sampled statistics log to this file (single benchmark only)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: softwatt [flags] <benchmark>\nbenchmarks: %v\n", softwatt.Benchmarks)
+		fmt.Fprintf(os.Stderr, "usage: softwatt [flags] <benchmark ...>\nbenchmarks: %v\n", softwatt.Benchmarks)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	bench := flag.Arg(0)
+	benches := flag.Args()
+	if *logFile != "" && len(benches) > 1 {
+		fmt.Fprintln(os.Stderr, "softwatt: -log needs a single benchmark")
+		os.Exit(2)
+	}
 
-	res, err := softwatt.Run(bench, softwatt.Options{Core: *coreKind, DiskPolicy: *diskPol})
+	batch := softwatt.BatchOptions{Workers: *jobs}
+	if len(benches) > 1 {
+		batch.Progress = func(done, total int, label string) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, label)
+		}
+	}
+	opt := softwatt.Options{Core: *coreKind, DiskPolicy: *diskPol}
+	results, err := softwatt.RunMatrixBatch(benches, nil, opt, batch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	est := softwatt.NewEstimator()
 
-	fmt.Println(est.Summarize(res))
-	fmt.Println()
-	ms := est.ModeBreakdown(res)
-	fmt.Printf("Mode breakdown (%% cycles / %% energy):\n")
-	for m := softwatt.Mode(0); m < softwatt.NumModes; m++ {
-		fmt.Printf("  %-7s %6.2f%% / %6.2f%%\n", m, ms.CyclesPct[m], ms.EnergyPct[m])
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		report(est, res, *services, *profile)
 	}
-	fmt.Printf("Peak window power: %.2f W\n", est.PeakPowerW(res))
 
-	if *services {
-		fmt.Println()
-		fmt.Print(est.RenderTable4([]*softwatt.RunResult{res}))
-	}
-	if *profile {
-		fmt.Println()
-		fmt.Print(est.RenderProfile(res, "Execution and power profile"))
-	}
 	if *logFile != "" {
+		res := results[0]
 		f, err := os.Create(*logFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -76,5 +83,26 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d sample windows to %s\n", len(res.Samples), *logFile)
+	}
+}
+
+// report prints one run's characterization sections.
+func report(est *softwatt.Estimator, res *softwatt.RunResult, services, profile bool) {
+	fmt.Println(est.Summarize(res))
+	fmt.Println()
+	ms := est.ModeBreakdown(res)
+	fmt.Printf("Mode breakdown (%% cycles / %% energy):\n")
+	for m := softwatt.Mode(0); m < softwatt.NumModes; m++ {
+		fmt.Printf("  %-7s %6.2f%% / %6.2f%%\n", m, ms.CyclesPct[m], ms.EnergyPct[m])
+	}
+	fmt.Printf("Peak window power: %.2f W\n", est.PeakPowerW(res))
+
+	if services {
+		fmt.Println()
+		fmt.Print(est.RenderTable4([]*softwatt.RunResult{res}))
+	}
+	if profile {
+		fmt.Println()
+		fmt.Print(est.RenderProfile(res, "Execution and power profile"))
 	}
 }

@@ -1,10 +1,13 @@
 // Command swreport regenerates the paper's evaluation artifacts. Each
 // experiment id selects one table or figure (see DESIGN.md §4); -exp all
-// runs the whole set.
+// runs the whole set. Multi-run experiments (the all-benchmark passes and
+// the Figure 9 sweep) fan their independent simulations out over a worker
+// pool (-j) with per-cell progress on stderr; report output is unchanged
+// by the worker count.
 //
 // Usage:
 //
-//	swreport [-exp all|v1|t1|f2|f3|f4|f5|f6|f7|f8|f9|t2|t3|t4|t5|x1|x2|a1|a2]
+//	swreport [-j N] [-exp all|v1|t1|f2|f3|f4|f5|f6|f7|f8|f9|t2|t3|t4|t5|x1|x2|a1|a2]
 package main
 
 import (
@@ -21,13 +24,14 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see DESIGN.md §4) or 'all'")
+	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = one per CPU)")
 	flag.Parse()
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"v1", "t1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "t2", "t3", "t4", "t5", "x1", "x2", "f9", "a1", "a2"}
 	}
-	st := &state{est: softwatt.NewEstimator()}
+	st := &state{est: softwatt.NewEstimator(), workers: *jobs}
 	for _, id := range ids {
 		if err := st.run(strings.TrimSpace(id)); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
@@ -37,20 +41,45 @@ func main() {
 }
 
 type state struct {
-	est     *softwatt.Estimator
-	mxsRuns []*softwatt.RunResult // cached all-benchmark MXS results
+	est       *softwatt.Estimator
+	workers   int
+	mxsRuns   []*softwatt.RunResult // cached all-benchmark MXS results
+	mipsyRuns []*softwatt.RunResult // cached all-benchmark Mipsy results
+}
+
+// batch returns the batch options every multi-run experiment shares:
+// the -j worker count and per-cell progress on stderr.
+func (s *state) batch() softwatt.BatchOptions {
+	return softwatt.BatchOptions{
+		Workers: s.workers,
+		Progress: func(done, total int, label string) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, label)
+		},
+	}
 }
 
 func (s *state) mxs() ([]*softwatt.RunResult, error) {
 	if s.mxsRuns == nil {
 		fmt.Fprintln(os.Stderr, "running all benchmarks on MXS (this is the slow pass)...")
-		runs, err := softwatt.RunAll(softwatt.Options{Core: "mxs"})
+		runs, err := softwatt.RunAllBatch(softwatt.Options{Core: "mxs"}, s.batch())
 		if err != nil {
 			return nil, err
 		}
 		s.mxsRuns = runs
 	}
 	return s.mxsRuns, nil
+}
+
+func (s *state) mipsy() ([]*softwatt.RunResult, error) {
+	if s.mipsyRuns == nil {
+		fmt.Fprintln(os.Stderr, "running all benchmarks on Mipsy...")
+		runs, err := softwatt.RunAllBatch(softwatt.Options{Core: "mipsy"}, s.batch())
+		if err != nil {
+			return nil, err
+		}
+		s.mipsyRuns = runs
+	}
+	return s.mipsyRuns, nil
 }
 
 func hdr(title string) {
@@ -84,16 +113,13 @@ func (s *state) run(id string) error {
 
 	case "f3":
 		hdr("F3: jess memory-system profile on Mipsy (Figure 3)")
-		r, err := softwatt.Run("jess", softwatt.Options{Core: "mipsy"})
+		runs, err := softwatt.RunMatrixBatch([]string{"jess"}, []string{"mipsy", "mxs1"},
+			softwatt.Options{}, s.batch())
 		if err != nil {
 			return err
 		}
-		fmt.Print(s.est.RenderProfile(r, "Memory subsystem / execution profile"))
-		r1, err := softwatt.Run("jess", softwatt.Options{Core: "mxs1"})
-		if err != nil {
-			return err
-		}
-		fmt.Print(s.est.RenderProfile(r1, "Single-issue MXS processor profile"))
+		fmt.Print(s.est.RenderProfile(runs[0], "Memory subsystem / execution profile"))
+		fmt.Print(s.est.RenderProfile(runs[1], "Single-issue MXS processor profile"))
 
 	case "f4":
 		hdr("F4: jess processor profile on MXS (Figure 4)")
@@ -122,7 +148,7 @@ func (s *state) run(id string) error {
 
 	case "f7":
 		hdr("F7: overall power budget, IDLE-capable disk (Figure 7)")
-		runs, err := softwatt.RunAll(softwatt.Options{Core: "mxs", DiskPolicy: "idle"})
+		runs, err := softwatt.RunAllBatch(softwatt.Options{Core: "mxs", DiskPolicy: "idle"}, s.batch())
 		if err != nil {
 			return err
 		}
@@ -172,12 +198,12 @@ func (s *state) run(id string) error {
 	case "x1":
 		hdr("X1: kernel share, single-issue vs superscalar (§3.2)")
 		var inorder, ooo float64
-		for _, b := range softwatt.Benchmarks {
-			r1, err := softwatt.Run(b, softwatt.Options{Core: "mipsy"})
-			if err != nil {
-				return err
-			}
-			inorder += kernelShare(r1) / float64(len(softwatt.Benchmarks))
+		mipsyRuns, err := s.mipsy()
+		if err != nil {
+			return err
+		}
+		for _, r1 := range mipsyRuns {
+			inorder += kernelShare(r1) / float64(len(mipsyRuns))
 		}
 		runs, err := s.mxs()
 		if err != nil {
@@ -204,7 +230,7 @@ func (s *state) run(id string) error {
 	case "f9":
 		hdr("F9: disk power management sweep (Figure 9)")
 		fmt.Fprintln(os.Stderr, "running 4 disk configurations x 6 benchmarks...")
-		rows, err := softwatt.SweepDiskConfigs(nil)
+		rows, err := softwatt.SweepDiskConfigsBatch(nil, nil, s.batch())
 		if err != nil {
 			return err
 		}
@@ -227,13 +253,9 @@ func (s *state) run(id string) error {
 
 	case "a2":
 		hdr("A2 (extension): trace-driven kernel energy estimation (§3.3/§5)")
-		var runs []*softwatt.RunResult
-		for _, b := range softwatt.Benchmarks {
-			r, err := softwatt.Run(b, softwatt.Options{Core: "mipsy"})
-			if err != nil {
-				return err
-			}
-			runs = append(runs, r)
+		runs, err := s.mipsy()
+		if err != nil {
+			return err
 		}
 		fmt.Printf("%-10s %18s %18s\n", "Benchmark", "all services err", "internal-only err")
 		for _, te := range s.est.CrossValidateTraceEstimation(runs) {

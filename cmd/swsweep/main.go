@@ -4,9 +4,14 @@
 // spindown thresholds) and prints the per-configuration disk energy and
 // workload idle-cycle counts.
 //
+// The grid cells are independent simulations, so the sweep fans out over a
+// worker pool (-j). Report rows stay in input order: -j 8 prints output
+// byte-identical to -j 1. Benchmark names are validated before the first
+// cell simulates, and a failing cell does not abort the rest of the sweep.
+//
 // Usage:
 //
-//	swsweep [benchmark ...]
+//	swsweep [-j N] [-q] [benchmark ...]
 package main
 
 import (
@@ -18,11 +23,21 @@ import (
 )
 
 func main() {
+	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = one per CPU)")
+	quiet := flag.Bool("q", false, "suppress per-cell progress on stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: swsweep [benchmark ...]\nbenchmarks: %v\n", softwatt.Benchmarks)
+		fmt.Fprintf(os.Stderr, "usage: swsweep [-j N] [-q] [benchmark ...]\nbenchmarks: %v\n", softwatt.Benchmarks)
+		flag.PrintDefaults()
 	}
 	flag.Parse()
-	rows, err := softwatt.SweepDiskConfigs(flag.Args())
+
+	b := softwatt.BatchOptions{Workers: *jobs}
+	if !*quiet {
+		b.Progress = func(done, total int, label string) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, label)
+		}
+	}
+	rows, err := softwatt.SweepDiskConfigsBatch(flag.Args(), nil, b)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -40,7 +40,7 @@ func Collect(m *machine.Machine, benchmark, coreName string) *RunResult {
 	r := &RunResult{
 		Benchmark:   benchmark,
 		Core:        coreName,
-		ClockHz:     200e6,
+		ClockHz:     m.Config().ClockHz,
 		Samples:     col.Finish(),
 		ModeTotals:  col.ModeTotals(),
 		TotalCycles: col.TotalCycles(),
@@ -63,9 +63,21 @@ type Estimator struct {
 // NewEstimator creates an estimator over the given power model.
 func NewEstimator(m *power.Model) *Estimator { return &Estimator{Model: m} }
 
-// seconds converts cycles to wall-clock seconds.
+// seconds converts cycles to wall-clock seconds at the model's clock; used
+// for buckets aggregated across runs, which share a configuration.
 func (e *Estimator) seconds(cycles uint64) float64 {
 	return float64(cycles) / e.Model.Tech.ClockHz
+}
+
+// secondsFor converts one run's cycles to seconds at the clock that run was
+// actually configured with, so a non-default clock reports correct seconds
+// and watts. Falls back to the model clock for results that predate the
+// ClockHz field.
+func (e *Estimator) secondsFor(r *RunResult, cycles uint64) float64 {
+	if r.ClockHz > 0 {
+		return float64(cycles) / r.ClockHz
+	}
+	return e.seconds(cycles)
 }
 
 // ---------------------------------------------------------------------------
@@ -261,7 +273,7 @@ func (e *Estimator) PowerBudget(runs []*RunResult) Budget {
 		for m := trace.Mode(0); m < trace.NumModes; m++ {
 			all.Add(&r.ModeTotals[m])
 		}
-		sec := e.seconds(all.Cycles)
+		sec := e.secondsFor(r, all.Cycles)
 		if sec == 0 {
 			continue
 		}
@@ -361,7 +373,7 @@ func (e *Estimator) Profile(r *RunResult) []ProfilePoint {
 	for i := range r.Samples {
 		s := &r.Samples[i]
 		var p ProfilePoint
-		p.TimeSec = e.seconds(s.End)
+		p.TimeSec = e.secondsFor(r, s.End)
 		var tot trace.Bucket
 		for m := trace.Mode(0); m < trace.NumModes; m++ {
 			tot.Add(&s.Mode[m])
@@ -373,7 +385,7 @@ func (e *Estimator) Profile(r *RunResult) []ProfilePoint {
 			p.ModePct[m] = 100 * float64(s.Mode[m].Cycles) / float64(tot.Cycles)
 		}
 		bd := e.Model.BucketEnergy(&tot)
-		sec := e.seconds(tot.Cycles)
+		sec := e.secondsFor(r, tot.Cycles)
 		p.PowerW = bd.Total / sec
 		p.MemPowerW = (bd.L1I + bd.L1D + bd.L2 + bd.Memory) / sec
 		out = append(out, p)
@@ -420,7 +432,7 @@ func (e *Estimator) Summarize(r *RunResult) Summary {
 	for m := trace.Mode(0); m < trace.NumModes; m++ {
 		all.Add(&r.ModeTotals[m])
 	}
-	sec := e.seconds(all.Cycles)
+	sec := e.secondsFor(r, all.Cycles)
 	cpuMem := e.Model.BucketEnergy(&all).Total
 	s := Summary{
 		Benchmark:   r.Benchmark,

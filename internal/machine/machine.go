@@ -236,6 +236,9 @@ func kseg0Phys(va uint32) uint32 {
 	return va
 }
 
+// Config returns the machine's resolved configuration (defaults applied).
+func (m *Machine) Config() Config { return m.cfg }
+
 // Collector exposes the statistics collector (for the estimator).
 func (m *Machine) Collector() *trace.Collector { return m.col }
 

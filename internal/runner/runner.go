@@ -1,0 +1,179 @@
+// Package runner is the parallel job engine behind the batch simulation
+// APIs. A sweep such as the paper's Figure 9 study (6 benchmarks × 4 disk
+// policies) is a grid of fully independent complete-machine simulations;
+// this package fans such grids out over a bounded worker pool while keeping
+// the results in deterministic input order, so a parallel sweep renders a
+// byte-identical report to a serial one.
+//
+// Semantics:
+//
+//   - Results come back in input order regardless of completion order.
+//   - Keep-going: a failing job never cancels its siblings; every cell
+//     error is collected into a single *Errors aggregate.
+//   - A panicking job becomes a per-cell error (with its stack), not a
+//     dead process.
+//   - An optional progress callback is invoked serially as cells finish.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Job is one independent unit of work. Label identifies the cell in errors
+// and progress reports (e.g. "jess/standby2").
+type Job[T any] struct {
+	Label string
+	Run   func() (T, error)
+}
+
+// Progress observes job completion. It is called once per job, serially
+// (never concurrently with itself), with done counting finished jobs so far
+// (1..total), the finished job's label, and its error (nil on success).
+// Completion order is nondeterministic under parallelism; only the final
+// done == total call is guaranteed to be last.
+type Progress func(done, total int, label string, err error)
+
+// Options configure a pool run.
+type Options struct {
+	// Workers bounds how many jobs run concurrently. Zero or negative
+	// selects runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, when non-nil, observes each job completion.
+	Progress Progress
+}
+
+// workers resolves the effective worker count for n jobs.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// JobError is one failed cell of a pool run.
+type JobError struct {
+	Index int    // position in the input job slice
+	Label string // the job's label
+	Err   error  // what it returned (or a panicError)
+}
+
+func (e *JobError) Error() string { return fmt.Sprintf("%s: %v", e.Label, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Errors aggregates every failed cell of a pool run, ordered by job index.
+type Errors struct {
+	Jobs []*JobError
+}
+
+// Error renders a one-line summary followed by one line per failed cell.
+func (e *Errors) Error() string {
+	if len(e.Jobs) == 1 {
+		return e.Jobs[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d jobs failed:", len(e.Jobs))
+	for _, j := range e.Jobs {
+		b.WriteString("\n  ")
+		b.WriteString(j.Error())
+	}
+	return b.String()
+}
+
+// panicError wraps a recovered panic value and its stack.
+type panicError struct {
+	value any
+	stack []byte
+}
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", p.value, p.stack)
+}
+
+// Map runs every job on a bounded worker pool and returns the results in
+// input order. It always returns a full-length slice: the i-th element is
+// jobs[i]'s result, or the zero value where that job failed. When any job
+// fails the error is an *Errors aggregating every failed cell (keep-going:
+// later jobs still run). A panic inside a job is recovered into that cell's
+// error.
+func Map[T any](jobs []Job[T], opt Options) ([]T, error) {
+	n := len(jobs)
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	errs := make([]*JobError, n)
+
+	var (
+		progressMu sync.Mutex
+		done       int
+	)
+	report := func(i int, err error) {
+		if opt.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		opt.Progress(done, n, jobs[i].Label, err)
+		progressMu.Unlock()
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := opt.workers(n); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := runOne(jobs[i].Run)
+				results[i] = res
+				if err != nil {
+					errs[i] = &JobError{Index: i, Label: jobs[i].Label, Err: err}
+				}
+				report(i, err)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var failed []*JobError
+	for _, e := range errs {
+		if e != nil {
+			failed = append(failed, e)
+		}
+	}
+	if len(failed) > 0 {
+		// errs is index-ordered already; sort defensively in case that
+		// invariant ever changes.
+		sort.Slice(failed, func(a, b int) bool { return failed[a].Index < failed[b].Index })
+		return results, &Errors{Jobs: failed}
+	}
+	return results, nil
+}
+
+// runOne executes one job body, converting a panic into an error.
+func runOne[T any](run func() (T, error)) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{value: r, stack: debug.Stack()}
+		}
+	}()
+	return run()
+}

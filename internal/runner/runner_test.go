@@ -1,0 +1,181 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrderedResults checks that results come back in input order even
+// when later jobs finish first (earlier jobs sleep longer).
+func TestMapOrderedResults(t *testing.T) {
+	const n = 16
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job[int]{
+			Label: fmt.Sprintf("job%d", i),
+			Run: func() (int, error) {
+				time.Sleep(time.Duration(n-i) * time.Millisecond)
+				return i * i, nil
+			},
+		}
+	}
+	got, err := Map(jobs, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("got %d results, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestMapSerialParallelEquivalent checks -j 1 and -j 8 produce identical
+// result slices for a deterministic job set.
+func TestMapSerialParallelEquivalent(t *testing.T) {
+	mk := func() []Job[string] {
+		var jobs []Job[string]
+		for i := 0; i < 12; i++ {
+			i := i
+			jobs = append(jobs, Job[string]{
+				Label: fmt.Sprintf("j%d", i),
+				Run:   func() (string, error) { return fmt.Sprintf("cell-%02d", i), nil },
+			})
+		}
+		return jobs
+	}
+	serial, err := Map(mk(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(mk(), Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("result[%d]: serial %q != parallel %q", i, serial[i], par[i])
+		}
+	}
+}
+
+// TestMapPanicBecomesError checks a panicking job is converted into that
+// cell's error instead of killing the process, and its siblings still run.
+func TestMapPanicBecomesError(t *testing.T) {
+	jobs := []Job[int]{
+		{Label: "ok0", Run: func() (int, error) { return 1, nil }},
+		{Label: "boom", Run: func() (int, error) { panic("simulated crash") }},
+		{Label: "ok2", Run: func() (int, error) { return 3, nil }},
+	}
+	got, err := Map(jobs, Options{Workers: 2})
+	if err == nil {
+		t.Fatal("want error from panicking job")
+	}
+	var agg *Errors
+	if !errors.As(err, &agg) {
+		t.Fatalf("error type %T, want *Errors", err)
+	}
+	if len(agg.Jobs) != 1 || agg.Jobs[0].Label != "boom" || agg.Jobs[0].Index != 1 {
+		t.Fatalf("bad aggregate: %+v", agg)
+	}
+	if !strings.Contains(agg.Error(), "simulated crash") {
+		t.Fatalf("error %q does not mention the panic value", agg.Error())
+	}
+	if got[0] != 1 || got[2] != 3 {
+		t.Fatalf("sibling results lost: %v", got)
+	}
+	if got[1] != 0 {
+		t.Fatalf("failed cell should hold the zero value, got %d", got[1])
+	}
+}
+
+// TestMapKeepGoing checks every cell error is aggregated in index order and
+// successful cells survive.
+func TestMapKeepGoing(t *testing.T) {
+	var ran atomic.Int32
+	var jobs []Job[int]
+	for i := 0; i < 10; i++ {
+		i := i
+		jobs = append(jobs, Job[int]{
+			Label: fmt.Sprintf("cell%d", i),
+			Run: func() (int, error) {
+				ran.Add(1)
+				if i%3 == 0 {
+					return 0, fmt.Errorf("fail-%d", i)
+				}
+				return i, nil
+			},
+		})
+	}
+	got, err := Map(jobs, Options{Workers: 4})
+	if ran.Load() != 10 {
+		t.Fatalf("ran %d jobs, want all 10 (keep-going)", ran.Load())
+	}
+	var agg *Errors
+	if !errors.As(err, &agg) {
+		t.Fatalf("error type %T, want *Errors", err)
+	}
+	wantIdx := []int{0, 3, 6, 9}
+	if len(agg.Jobs) != len(wantIdx) {
+		t.Fatalf("%d errors, want %d: %v", len(agg.Jobs), len(wantIdx), agg)
+	}
+	for k, je := range agg.Jobs {
+		if je.Index != wantIdx[k] {
+			t.Fatalf("error %d has index %d, want %d (index order)", k, je.Index, wantIdx[k])
+		}
+	}
+	for i, v := range got {
+		if i%3 != 0 && v != i {
+			t.Fatalf("successful result[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+// TestMapProgress checks the callback fires once per job with a strictly
+// increasing done counter ending at total.
+func TestMapProgress(t *testing.T) {
+	const n = 9
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job[int]{Label: fmt.Sprintf("p%d", i), Run: func() (int, error) { return i, nil }}
+	}
+	var calls int
+	last := 0
+	_, err := Map(jobs, Options{Workers: 3, Progress: func(done, total int, label string, err error) {
+		calls++
+		if done != last+1 {
+			t.Errorf("done jumped %d -> %d", last, done)
+		}
+		last = done
+		if total != n {
+			t.Errorf("total = %d, want %d", total, n)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != n {
+		t.Fatalf("progress called %d times, want %d", calls, n)
+	}
+}
+
+// TestMapEmptyAndDefaults covers zero jobs and defaulted worker counts.
+func TestMapEmptyAndDefaults(t *testing.T) {
+	got, err := Map[int](nil, Options{})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty map: %v %v", got, err)
+	}
+	one, err := Map([]Job[int]{{Label: "x", Run: func() (int, error) { return 7, nil }}}, Options{Workers: -3})
+	if err != nil || one[0] != 7 {
+		t.Fatalf("defaulted workers: %v %v", one, err)
+	}
+}

@@ -95,7 +95,9 @@ func (w *Welford) Merge(o Welford) {
 	}
 }
 
-// CounterSet is a map of named uint64 counters with deterministic iteration.
+// CounterSet is a map of named uint64 counters with deterministic
+// iteration. The zero value is ready to use, like the other aggregates in
+// this package: the backing map is allocated on first Add.
 type CounterSet struct {
 	m map[string]uint64
 }
@@ -104,7 +106,12 @@ type CounterSet struct {
 func NewCounterSet() *CounterSet { return &CounterSet{m: make(map[string]uint64)} }
 
 // Add increments counter name by delta.
-func (c *CounterSet) Add(name string, delta uint64) { c.m[name] += delta }
+func (c *CounterSet) Add(name string, delta uint64) {
+	if c.m == nil {
+		c.m = make(map[string]uint64)
+	}
+	c.m[name] += delta
+}
 
 // Get returns the value of counter name (0 if never touched).
 func (c *CounterSet) Get(name string) uint64 { return c.m[name] }

@@ -90,6 +90,25 @@ func TestCounterSet(t *testing.T) {
 	}
 }
 
+func TestCounterSetZeroValue(t *testing.T) {
+	// The zero value must be usable like the package's other aggregates:
+	// Add used to panic on the nil map.
+	var c CounterSet
+	if c.Get("x") != 0 || len(c.Names()) != 0 || c.String() != "" {
+		t.Fatal("zero-value reads wrong")
+	}
+	c.Add("x", 3)
+	c.Add("x", 4)
+	if c.Get("x") != 7 {
+		t.Fatalf("x = %d, want 7", c.Get("x"))
+	}
+	var embedded struct{ C CounterSet }
+	embedded.C.Add("y", 1)
+	if embedded.C.Get("y") != 1 {
+		t.Fatal("embedded zero value unusable")
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram(10, 1.0)
 	for i := 0; i < 10; i++ {

@@ -19,11 +19,13 @@ package softwatt
 
 import (
 	"fmt"
+	"strings"
 
 	"softwatt/internal/core"
 	"softwatt/internal/disk"
 	"softwatt/internal/machine"
 	"softwatt/internal/power"
+	"softwatt/internal/runner"
 	"softwatt/internal/trace"
 	"softwatt/internal/workload"
 )
@@ -104,6 +106,10 @@ type Options struct {
 	WindowCycles uint64
 	// TimerCycles sets the clock-tick period (default 100000).
 	TimerCycles uint32
+	// ClockHz overrides the CPU clock (default 200 MHz, Table 1). The
+	// configured value is threaded through to RunResult.ClockHz so reports
+	// convert cycles to seconds with the clock the run actually used.
+	ClockHz float64
 	// IdleHalt enables the paper's §5 proposed optimization: the idle loop
 	// halts the processor (WAIT) instead of busy-waiting, eliminating the
 	// idle process's pipeline activity.
@@ -121,7 +127,7 @@ func (o Options) MachineConfig() (machine.Config, error) {
 	case "mxs1":
 		cfg.Core = machine.CoreMXS1
 	default:
-		return cfg, fmt.Errorf("softwatt: unknown core %q", o.Core)
+		return cfg, fmt.Errorf("softwatt: unknown core %q (valid: mipsy, mxs, mxs1)", o.Core)
 	}
 	switch o.DiskPolicy {
 	case "", "conventional":
@@ -135,7 +141,8 @@ func (o Options) MachineConfig() (machine.Config, error) {
 		cfg.Disk.Policy = disk.PolicyStandby
 		cfg.Disk.SpindownThresholdSec = 4.0
 	default:
-		return cfg, fmt.Errorf("softwatt: unknown disk policy %q", o.DiskPolicy)
+		return cfg, fmt.Errorf("softwatt: unknown disk policy %q (valid: %s)",
+			o.DiskPolicy, strings.Join(DiskPolicies, ", "))
 	}
 	if o.RAMBytes > 0 {
 		cfg.RAMBytes = o.RAMBytes
@@ -148,6 +155,9 @@ func (o Options) MachineConfig() (machine.Config, error) {
 	}
 	if o.TimerCycles > 0 {
 		cfg.TimerCycles = o.TimerCycles
+	}
+	if o.ClockHz > 0 {
+		cfg.ClockHz = o.ClockHz
 	}
 	cfg.IdleHalt = o.IdleHalt
 	return cfg, nil
@@ -181,17 +191,150 @@ func Run(benchmark string, opt Options) (*RunResult, error) {
 	return core.Collect(m, benchmark, cfg.Core.String()), nil
 }
 
-// RunAll simulates every benchmark with the same options.
+// BatchOptions configure how a batch of independent simulations executes.
+// The zero value runs one simulation per CPU with no progress reporting.
+type BatchOptions struct {
+	// Workers bounds how many simulations run concurrently; zero or
+	// negative uses GOMAXPROCS. Worker count never changes results: a
+	// batch at any parallelism returns the same result slice, in input
+	// order, as a serial run.
+	Workers int
+	// Progress, when non-nil, is called serially after each cell finishes
+	// with the number of finished cells so far, the total, and the
+	// finished cell's label (e.g. "jess/standby2").
+	Progress func(done, total int, label string)
+}
+
+// runnerOptions adapts BatchOptions to the job engine.
+func (b BatchOptions) runnerOptions() runner.Options {
+	ro := runner.Options{Workers: b.Workers}
+	if b.Progress != nil {
+		p := b.Progress
+		ro.Progress = func(done, total int, label string, err error) { p(done, total, label) }
+	}
+	return ro
+}
+
+// BatchError aggregates the per-cell failures of a batch run, in input
+// order. Batch APIs keep going past a failed cell, so one error never
+// hides the rest of the sweep.
+type BatchError = runner.Errors
+
+// CellError is one failed cell of a batch: its input-order index, its
+// label (e.g. "jess/standby2"), and the underlying error. A simulation
+// panic surfaces here as an error carrying the panic value and stack.
+type CellError = runner.JobError
+
+// validateBenchmarks fails fast on an unknown benchmark name, before any
+// simulation has run, naming the valid set.
+func validateBenchmarks(benchmarks []string) error {
+	known := workload.Benchmarks()
+	for _, b := range benchmarks {
+		if _, ok := known[b]; !ok {
+			return fmt.Errorf("softwatt: unknown benchmark %q (valid: %s)",
+				b, strings.Join(Benchmarks, ", "))
+		}
+	}
+	return nil
+}
+
+// validatePolicies fails fast on an unknown disk policy name, before any
+// simulation has run.
+func validatePolicies(policies []string) error {
+	for _, p := range policies {
+		if _, err := (Options{DiskPolicy: p}).MachineConfig(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateCores fails fast on an unknown core name, before any simulation
+// has run.
+func validateCores(cores []string) error {
+	for _, c := range cores {
+		if _, err := (Options{Core: c}).MachineConfig(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchCell is one simulation of a batch: a benchmark under per-cell
+// options, labelled for errors and progress.
+type batchCell struct {
+	label string
+	bench string
+	opt   Options
+}
+
+// runBatch fans the cells out over the job engine. Results are in input
+// order; failed cells are nil and aggregated into a *BatchError.
+func runBatch(cells []batchCell, b BatchOptions) ([]*RunResult, error) {
+	jobs := make([]runner.Job[*RunResult], len(cells))
+	for i, c := range cells {
+		c := c
+		jobs[i] = runner.Job[*RunResult]{
+			Label: c.label,
+			Run:   func() (*RunResult, error) { return Run(c.bench, c.opt) },
+		}
+	}
+	return runner.Map(jobs, b.runnerOptions())
+}
+
+// RunAll simulates every benchmark with the same options, one simulation
+// per CPU. Results are in Benchmarks order.
 func RunAll(opt Options) ([]*RunResult, error) {
-	var out []*RunResult
-	for _, b := range Benchmarks {
-		r, err := Run(b, opt)
-		if err != nil {
+	return RunAllBatch(opt, BatchOptions{})
+}
+
+// RunAllBatch is RunAll with explicit batch control. On error the returned
+// slice still holds every successful cell (failed cells are nil) and the
+// error is a *BatchError listing each failure.
+func RunAllBatch(opt Options, b BatchOptions) ([]*RunResult, error) {
+	return RunMatrixBatch(Benchmarks, nil, opt, b)
+}
+
+// RunMatrix simulates the benchmark × core grid with default batch options.
+// Results are row-major: all cores of benchmarks[0], then benchmarks[1], …
+func RunMatrix(benchmarks, cores []string, opt Options) ([]*RunResult, error) {
+	return RunMatrixBatch(benchmarks, cores, opt, BatchOptions{})
+}
+
+// RunMatrixBatch simulates every benchmark × core cell of the grid on the
+// parallel job engine. Nil benchmarks means all six; nil cores means the
+// single core named by opt.Core. All names are validated up front so a typo
+// fails before any simulation runs. On error the returned slice still holds
+// every successful cell (failed cells are nil) and the error is a
+// *BatchError listing each failure.
+func RunMatrixBatch(benchmarks, cores []string, opt Options, b BatchOptions) ([]*RunResult, error) {
+	if len(benchmarks) == 0 {
+		benchmarks = Benchmarks
+	}
+	if err := validateBenchmarks(benchmarks); err != nil {
+		return nil, err
+	}
+	if len(cores) > 0 {
+		if err := validateCores(cores); err != nil {
 			return nil, err
 		}
-		out = append(out, r)
 	}
-	return out, nil
+	if _, err := opt.MachineConfig(); err != nil {
+		return nil, err
+	}
+	var cells []batchCell
+	for _, bench := range benchmarks {
+		if len(cores) == 0 {
+			cells = append(cells, batchCell{bench, bench, opt})
+			continue
+		}
+		for _, c := range cores {
+			o := opt
+			o.Core = c
+			cells = append(cells, batchCell{bench + "/" + c, bench, o})
+		}
+	}
+	return runBatch(cells, b)
 }
 
 // NewEstimator returns an estimator over the paper's Table 1 power model.
@@ -216,30 +359,64 @@ var DiskPolicies = []string{"conventional", "idle", "standby2", "standby4"}
 // power-management configurations of §4 and returns the Figure 9 data
 // (disk energy and total idle cycles per cell). The sweep uses the Mipsy
 // core, the fast first-pass model the paper uses for memory and disk
-// behaviour.
+// behaviour, and fans the grid out one simulation per CPU.
 func SweepDiskConfigs(benchmarks []string) ([]Fig9Row, error) {
+	return SweepDiskConfigsBatch(benchmarks, nil, BatchOptions{})
+}
+
+// SweepDiskConfigsBatch is SweepDiskConfigs with an explicit policy list
+// and batch control. Nil benchmarks means all six; nil policies means the
+// paper's four. Benchmark and policy names are validated up front so a typo
+// in the last cell fails before the first cell has simulated. Rows come
+// back benchmark-major in input order regardless of worker count, so a
+// parallel sweep renders a byte-identical Figure 9 report to a serial one.
+// On error the row slice holds every successful cell (failed cells are
+// zero-valued) and the error is a *BatchError listing each failure.
+func SweepDiskConfigsBatch(benchmarks, policies []string, b BatchOptions) ([]Fig9Row, error) {
 	if len(benchmarks) == 0 {
 		benchmarks = Benchmarks
 	}
-	var rows []Fig9Row
-	for _, b := range benchmarks {
-		for _, pol := range DiskPolicies {
-			r, err := Run(b, Options{Core: "mipsy", DiskPolicy: pol})
-			if err != nil {
-				return nil, fmt.Errorf("sweep %s/%s: %w", b, pol, err)
-			}
-			rows = append(rows, Fig9Row{
-				Benchmark:  b,
-				Policy:     pol,
-				DiskJ:      r.DiskEnergyJ,
-				IdleCycles: r.IdleCycles,
-				Spinups:    r.DiskStats.Spinups,
-				Spindowns:  r.DiskStats.Spindowns,
-				Cycles:     r.TotalCycles,
-			})
+	if len(policies) == 0 {
+		policies = DiskPolicies
+	}
+	if err := validateBenchmarks(benchmarks); err != nil {
+		return nil, err
+	}
+	if err := validatePolicies(policies); err != nil {
+		return nil, err
+	}
+	type cell struct {
+		bench, policy string
+	}
+	var cells []cell
+	for _, bench := range benchmarks {
+		for _, pol := range policies {
+			cells = append(cells, cell{bench, pol})
 		}
 	}
-	return rows, nil
+	jobs := make([]runner.Job[Fig9Row], len(cells))
+	for i, c := range cells {
+		c := c
+		jobs[i] = runner.Job[Fig9Row]{
+			Label: c.bench + "/" + c.policy,
+			Run: func() (Fig9Row, error) {
+				r, err := Run(c.bench, Options{Core: "mipsy", DiskPolicy: c.policy})
+				if err != nil {
+					return Fig9Row{}, err
+				}
+				return Fig9Row{
+					Benchmark:  c.bench,
+					Policy:     c.policy,
+					DiskJ:      r.DiskEnergyJ,
+					IdleCycles: r.IdleCycles,
+					Spinups:    r.DiskStats.Spinups,
+					Spindowns:  r.DiskStats.Spindowns,
+					Cycles:     r.TotalCycles,
+				}, nil
+			},
+		}
+	}
+	return runner.Map(jobs, b.runnerOptions())
 }
 
 // RenderFig9 renders sweep rows as the Figure 9 report.
