@@ -7,10 +7,16 @@
 // pool (-j) with per-run progress on stderr; reports print in argument
 // order regardless of parallelism.
 //
+// -o saves the complete run (identity, resolved config, totals, service
+// statistics, disk energy, sample windows) as a version-2 run log;
+// -replay re-renders the identical report from such a log with zero
+// simulation. -log writes the legacy version-1 sample-only log.
+//
 // Usage:
 //
 //	softwatt [-core mipsy|mxs|mxs1] [-disk conventional|idle|standby2|standby4]
-//	         [-j N] [-profile] [-services] [-log file] <benchmark ...>
+//	         [-j N] [-profile] [-services] [-log file] [-o file] <benchmark ...>
+//	softwatt -replay [-profile] [-services] <run.swlog ...>
 //
 // Benchmarks: compress jess db javac mtrt jack
 package main
@@ -30,9 +36,12 @@ func main() {
 	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = one per CPU)")
 	profile := flag.Bool("profile", false, "print the execution/power time profile (paper Figs. 3/4)")
 	services := flag.Bool("services", true, "print the kernel service table (paper Table 4)")
-	logFile := flag.String("log", "", "write the sampled statistics log to this file (single benchmark only)")
+	logFile := flag.String("log", "", "write the legacy v1 sample-only log to this file (single benchmark only)")
+	outFile := flag.String("o", "", "save the complete run as a v2 run log (single benchmark only)")
+	replay := flag.Bool("replay", false, "arguments are saved run logs: report from them without simulating")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: softwatt [flags] <benchmark ...>\nbenchmarks: %v\n", softwatt.Benchmarks)
+		fmt.Fprintf(os.Stderr, "usage: softwatt [flags] <benchmark ...>\n"+
+			"       softwatt -replay [flags] <run.swlog ...>\nbenchmarks: %v\n", softwatt.Benchmarks)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -40,9 +49,28 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	est := softwatt.NewEstimator()
+	if *replay {
+		for i, path := range flag.Args() {
+			res, err := softwatt.LoadResultFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if i > 0 {
+				fmt.Println()
+			}
+			report(est, res, *services, *profile)
+		}
+		return
+	}
 	benches := flag.Args()
 	if *logFile != "" && len(benches) > 1 {
 		fmt.Fprintln(os.Stderr, "softwatt: -log needs a single benchmark")
+		os.Exit(2)
+	}
+	if *outFile != "" && len(benches) > 1 {
+		fmt.Fprintln(os.Stderr, "softwatt: -o needs a single benchmark")
 		os.Exit(2)
 	}
 
@@ -58,7 +86,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	est := softwatt.NewEstimator()
 
 	for i, res := range results {
 		if i > 0 {
@@ -83,6 +110,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d sample windows to %s\n", len(res.Samples), *logFile)
+	}
+	// The -o notice goes to stderr so that stdout stays byte-identical
+	// between a live run and its -replay.
+	if *outFile != "" {
+		if err := softwatt.SaveResultFile(*outFile, results[0]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote run log %s\n", *outFile)
 	}
 }
 

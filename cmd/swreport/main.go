@@ -5,9 +5,16 @@
 // pool (-j) with per-cell progress on stderr; report output is unchanged
 // by the worker count.
 //
+// With -logs, every simulation goes through a run-log cache in the given
+// directory: cells whose saved log matches the requested configuration
+// (by config digest) load in milliseconds instead of re-simulating, and
+// cache misses simulate and save their log for next time. A warm cache
+// regenerates the full report with zero simulations, byte-identical to
+// the live-run output.
+//
 // Usage:
 //
-//	swreport [-j N] [-exp all|v1|t1|f2|f3|f4|f5|f6|f7|f8|f9|t2|t3|t4|t5|x1|x2|a1|a2]
+//	swreport [-j N] [-logs dir] [-exp all|v1|t1|f2|f3|f4|f5|f6|f7|f8|f9|t2|t3|t4|t5|x1|x2|a1|a2]
 package main
 
 import (
@@ -25,13 +32,14 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see DESIGN.md §4) or 'all'")
 	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = one per CPU)")
+	logsDir := flag.String("logs", "", "run-log cache directory: load saved runs, save simulated ones")
 	flag.Parse()
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"v1", "t1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "t2", "t3", "t4", "t5", "x1", "x2", "f9", "a1", "a2"}
 	}
-	st := &state{est: softwatt.NewEstimator(), workers: *jobs}
+	st := &state{est: softwatt.NewEstimator(), workers: *jobs, logsDir: *logsDir}
 	for _, id := range ids {
 		if err := st.run(strings.TrimSpace(id)); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
@@ -43,6 +51,7 @@ func main() {
 type state struct {
 	est       *softwatt.Estimator
 	workers   int
+	logsDir   string
 	mxsRuns   []*softwatt.RunResult // cached all-benchmark MXS results
 	mipsyRuns []*softwatt.RunResult // cached all-benchmark Mipsy results
 }
@@ -58,10 +67,34 @@ func (s *state) batch() softwatt.BatchOptions {
 	}
 }
 
+// runs sends a list of cells through the run-log cache (when -logs is
+// set): saved logs load instead of simulating, misses simulate and save.
+func (s *state) runs(specs []softwatt.RunSpec) ([]*softwatt.RunResult, error) {
+	return softwatt.RunBatchCached(specs, s.logsDir, s.batch())
+}
+
+// one is runs for a single cell.
+func (s *state) one(bench string, opt softwatt.Options) (*softwatt.RunResult, error) {
+	res, err := s.runs([]softwatt.RunSpec{{Benchmark: bench, Options: opt}})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// allBench builds the all-benchmark spec list for one option set.
+func allBench(opt softwatt.Options) []softwatt.RunSpec {
+	specs := make([]softwatt.RunSpec, len(softwatt.Benchmarks))
+	for i, b := range softwatt.Benchmarks {
+		specs[i] = softwatt.RunSpec{Benchmark: b, Options: opt}
+	}
+	return specs
+}
+
 func (s *state) mxs() ([]*softwatt.RunResult, error) {
 	if s.mxsRuns == nil {
 		fmt.Fprintln(os.Stderr, "running all benchmarks on MXS (this is the slow pass)...")
-		runs, err := softwatt.RunAllBatch(softwatt.Options{Core: "mxs"}, s.batch())
+		runs, err := s.runs(allBench(softwatt.Options{Core: "mxs"}))
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +106,7 @@ func (s *state) mxs() ([]*softwatt.RunResult, error) {
 func (s *state) mipsy() ([]*softwatt.RunResult, error) {
 	if s.mipsyRuns == nil {
 		fmt.Fprintln(os.Stderr, "running all benchmarks on Mipsy...")
-		runs, err := softwatt.RunAllBatch(softwatt.Options{Core: "mipsy"}, s.batch())
+		runs, err := s.runs(allBench(softwatt.Options{Core: "mipsy"}))
 		if err != nil {
 			return nil, err
 		}
@@ -113,8 +146,10 @@ func (s *state) run(id string) error {
 
 	case "f3":
 		hdr("F3: jess memory-system profile on Mipsy (Figure 3)")
-		runs, err := softwatt.RunMatrixBatch([]string{"jess"}, []string{"mipsy", "mxs1"},
-			softwatt.Options{}, s.batch())
+		runs, err := s.runs([]softwatt.RunSpec{
+			{Benchmark: "jess", Options: softwatt.Options{Core: "mipsy"}, Label: "jess/mipsy"},
+			{Benchmark: "jess", Options: softwatt.Options{Core: "mxs1"}, Label: "jess/mxs1"},
+		})
 		if err != nil {
 			return err
 		}
@@ -148,7 +183,7 @@ func (s *state) run(id string) error {
 
 	case "f7":
 		hdr("F7: overall power budget, IDLE-capable disk (Figure 7)")
-		runs, err := softwatt.RunAllBatch(softwatt.Options{Core: "mxs", DiskPolicy: "idle"}, s.batch())
+		runs, err := s.runs(allBench(softwatt.Options{Core: "mxs", DiskPolicy: "idle"}))
 		if err != nil {
 			return err
 		}
@@ -217,7 +252,7 @@ func (s *state) run(id string) error {
 
 	case "x2":
 		hdr("X2: memory-subsystem vs datapath power, single-issue (§3.2)")
-		r, err := softwatt.Run("jess", softwatt.Options{Core: "mipsy"})
+		r, err := s.one("jess", softwatt.Options{Core: "mipsy"})
 		if err != nil {
 			return err
 		}
@@ -230,16 +265,38 @@ func (s *state) run(id string) error {
 	case "f9":
 		hdr("F9: disk power management sweep (Figure 9)")
 		fmt.Fprintln(os.Stderr, "running 4 disk configurations x 6 benchmarks...")
-		rows, err := softwatt.SweepDiskConfigsBatch(nil, nil, s.batch())
+		var specs []softwatt.RunSpec
+		for _, bench := range softwatt.Benchmarks {
+			for _, pol := range softwatt.DiskPolicies {
+				specs = append(specs, softwatt.RunSpec{
+					Benchmark: bench,
+					Options:   softwatt.Options{Core: "mipsy", DiskPolicy: pol},
+					Label:     bench + "/" + pol,
+				})
+			}
+		}
+		results, err := s.runs(specs)
 		if err != nil {
 			return err
+		}
+		rows := make([]softwatt.Fig9Row, len(results))
+		for i, r := range results {
+			rows[i] = softwatt.Fig9Row{
+				Benchmark:  specs[i].Benchmark,
+				Policy:     specs[i].Options.DiskPolicy,
+				DiskJ:      r.DiskEnergyJ,
+				IdleCycles: r.IdleCycles,
+				Spinups:    r.DiskStats.Spinups,
+				Spindowns:  r.DiskStats.Spindowns,
+				Cycles:     r.TotalCycles,
+			}
 		}
 		fmt.Print(softwatt.RenderFig9(rows))
 
 	case "a1":
 		hdr("A1 (extension): halting the idle loop (§5 proposal)")
 		for _, halt := range []bool{false, true} {
-			r, err := softwatt.Run("jess", softwatt.Options{Core: "mipsy", IdleHalt: halt})
+			r, err := s.one("jess", softwatt.Options{Core: "mipsy", IdleHalt: halt})
 			if err != nil {
 				return err
 			}

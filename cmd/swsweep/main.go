@@ -9,9 +9,14 @@
 // byte-identical to -j 1. Benchmark names are validated before the first
 // cell simulates, and a failing cell does not abort the rest of the sweep.
 //
+// With -logs, each cell's complete run log is written to the directory as
+// the parallel engine completes it, and cells whose log is already present
+// (matched by configuration digest) load instead of re-simulating — a
+// warm sweep renders the identical report with zero simulations.
+//
 // Usage:
 //
-//	swsweep [-j N] [-q] [benchmark ...]
+//	swsweep [-j N] [-q] [-logs dir] [benchmark ...]
 package main
 
 import (
@@ -25,11 +30,27 @@ import (
 func main() {
 	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = one per CPU)")
 	quiet := flag.Bool("q", false, "suppress per-cell progress on stderr")
+	logsDir := flag.String("logs", "", "run-log cache directory: load saved cells, save simulated ones")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: swsweep [-j N] [-q] [benchmark ...]\nbenchmarks: %v\n", softwatt.Benchmarks)
+		fmt.Fprintf(os.Stderr, "usage: swsweep [-j N] [-q] [-logs dir] [benchmark ...]\nbenchmarks: %v\n", softwatt.Benchmarks)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	benches := flag.Args()
+	if len(benches) == 0 {
+		benches = softwatt.Benchmarks
+	}
+	var specs []softwatt.RunSpec
+	for _, bench := range benches {
+		for _, pol := range softwatt.DiskPolicies {
+			specs = append(specs, softwatt.RunSpec{
+				Benchmark: bench,
+				Options:   softwatt.Options{Core: "mipsy", DiskPolicy: pol},
+				Label:     bench + "/" + pol,
+			})
+		}
+	}
 
 	b := softwatt.BatchOptions{Workers: *jobs}
 	if !*quiet {
@@ -37,10 +58,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, label)
 		}
 	}
-	rows, err := softwatt.SweepDiskConfigsBatch(flag.Args(), nil, b)
+	results, err := softwatt.RunBatchCached(specs, *logsDir, b)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	rows := make([]softwatt.Fig9Row, len(results))
+	for i, r := range results {
+		if r == nil {
+			continue
+		}
+		rows[i] = softwatt.Fig9Row{
+			Benchmark:  specs[i].Benchmark,
+			Policy:     specs[i].Options.DiskPolicy,
+			DiskJ:      r.DiskEnergyJ,
+			IdleCycles: r.IdleCycles,
+			Spinups:    r.DiskStats.Spinups,
+			Spindowns:  r.DiskStats.Spindowns,
+			Cycles:     r.TotalCycles,
+		}
 	}
 	fmt.Print(softwatt.RenderFig9(rows))
 }

@@ -22,6 +22,12 @@ type RunResult struct {
 	Core      string
 	ClockHz   float64
 
+	// Config is the resolved machine+disk configuration of the run in
+	// stable key=value form. It is serialised into run logs and digested
+	// for the log-cache lookup (a result loaded from a log answers for a
+	// requested configuration only when the digests match).
+	Config []trace.ConfigEntry
+
 	Samples    []trace.Sample
 	ModeTotals [trace.NumModes]trace.Bucket
 	Services   [trace.NumSvc]trace.ServiceStats
@@ -41,6 +47,7 @@ func Collect(m *machine.Machine, benchmark, coreName string) *RunResult {
 		Benchmark:   benchmark,
 		Core:        coreName,
 		ClockHz:     m.Config().ClockHz,
+		Config:      ConfigEntries(m.Config()),
 		Samples:     col.Finish(),
 		ModeTotals:  col.ModeTotals(),
 		TotalCycles: col.TotalCycles(),
@@ -308,22 +315,41 @@ type StackedPower struct {
 	Total    float64
 }
 
-func (e *Estimator) stack(label string, b *trace.Bucket) StackedPower {
-	sec := e.seconds(b.Cycles)
+// stackAcross computes a component-power stack over one bucket per run:
+// total energy divided by total wall-clock time, with each run's cycles
+// converted to seconds at the clock that run was actually configured with.
+// Summing cycles across runs before dividing (the old code path) silently
+// assumed every run shared the model clock, which misreported Figures 6
+// and 8 for any run with a non-default Options.ClockHz.
+func (e *Estimator) stackAcross(label string, runs []*RunResult, pick func(*RunResult) *trace.Bucket) StackedPower {
+	out := StackedPower{Label: label}
+	var sec float64
+	for _, r := range runs {
+		b := pick(r)
+		if b.Cycles == 0 {
+			continue
+		}
+		bd := e.Model.BucketEnergy(b)
+		out.Datapath += bd.Datapath
+		out.L1I += bd.L1I
+		out.L1D += bd.L1D
+		out.L2 += bd.L2
+		out.Clock += bd.Clock
+		out.Memory += bd.Memory
+		out.Total += bd.Total
+		sec += e.secondsFor(r, b.Cycles)
+	}
 	if sec == 0 {
 		return StackedPower{Label: label}
 	}
-	bd := e.Model.BucketEnergy(b)
-	return StackedPower{
-		Label:    label,
-		Datapath: bd.Datapath / sec,
-		L1I:      bd.L1I / sec,
-		L1D:      bd.L1D / sec,
-		L2:       bd.L2 / sec,
-		Clock:    bd.Clock / sec,
-		Memory:   bd.Memory / sec,
-		Total:    bd.Total / sec,
-	}
+	out.Datapath /= sec
+	out.L1I /= sec
+	out.L1D /= sec
+	out.L2 /= sec
+	out.Clock /= sec
+	out.Memory /= sec
+	out.Total /= sec
+	return out
 }
 
 // ModeAveragePower computes Figure 6: the average power of each software
@@ -331,11 +357,10 @@ func (e *Estimator) stack(label string, b *trace.Bucket) StackedPower {
 func (e *Estimator) ModeAveragePower(runs []*RunResult) [trace.NumModes]StackedPower {
 	var out [trace.NumModes]StackedPower
 	for m := trace.Mode(0); m < trace.NumModes; m++ {
-		var b trace.Bucket
-		for _, r := range runs {
-			b.Add(&r.ModeTotals[m])
-		}
-		out[m] = e.stack(m.String(), &b)
+		m := m
+		out[m] = e.stackAcross(m.String(), runs, func(r *RunResult) *trace.Bucket {
+			return &r.ModeTotals[m]
+		})
 	}
 	return out
 }
@@ -345,11 +370,10 @@ func (e *Estimator) ModeAveragePower(runs []*RunResult) [trace.NumModes]StackedP
 func (e *Estimator) ServiceAveragePower(runs []*RunResult, services []trace.Svc) []StackedPower {
 	var out []StackedPower
 	for _, s := range services {
-		var b trace.Bucket
-		for _, r := range runs {
-			b.Add(&r.Services[s].Total)
-		}
-		out = append(out, e.stack(s.String(), &b))
+		s := s
+		out = append(out, e.stackAcross(s.String(), runs, func(r *RunResult) *trace.Bucket {
+			return &r.Services[s].Total
+		}))
 	}
 	return out
 }

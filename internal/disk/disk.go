@@ -312,8 +312,12 @@ func (d *Disk) Submit(cycle uint64, req Request) (uint64, error) {
 	if d.busy {
 		return 0, fmt.Errorf("disk: submit while busy")
 	}
-	end := int(req.Sector+req.Count) * SectorSize
-	if req.Count == 0 || end > len(d.image) {
+	// All offset arithmetic in uint64: Sector and Count are guest-written
+	// uint32 MMIO registers, and their sum (or sector*SectorSize) wraps in
+	// 32 bits, letting a hostile request pass a narrower check and panic
+	// the host on the image slice.
+	end := (uint64(req.Sector) + uint64(req.Count)) * SectorSize
+	if req.Count == 0 || end > uint64(len(d.image)) {
 		return 0, fmt.Errorf("disk: request out of range (sector %d count %d)", req.Sector, req.Count)
 	}
 	d.cancelScheduledSpindown()
@@ -438,14 +442,24 @@ func (d *Disk) cancelScheduledSpindown() {
 }
 
 // Read copies data from the disk image (synchronously; used by loaders and
-// by the DMA engine at completion time).
+// by the DMA engine at completion time). Out-of-range sectors copy nothing:
+// the offset is computed in uint64 so a sector near 2³² cannot wrap into a
+// valid-looking slice index.
 func (d *Disk) Read(sector uint32, buf []byte) {
-	copy(buf, d.image[sector*SectorSize:])
+	off := uint64(sector) * SectorSize
+	if off >= uint64(len(d.image)) {
+		return
+	}
+	copy(buf, d.image[off:])
 }
 
-// Write copies data into the disk image.
+// Write copies data into the disk image. Out-of-range sectors are ignored.
 func (d *Disk) Write(sector uint32, buf []byte) {
-	copy(d.image[sector*SectorSize:], buf)
+	off := uint64(sector) * SectorSize
+	if off >= uint64(len(d.image)) {
+		return
+	}
+	copy(d.image[off:], buf)
 }
 
 // FinishEnergy integrates energy through endCycle and returns the total.

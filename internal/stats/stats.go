@@ -95,6 +95,27 @@ func (w *Welford) Merge(o Welford) {
 	}
 }
 
+// WelfordState is the exported snapshot of a Welford aggregate, for
+// serialisation into run logs. Restoring a snapshot reproduces the exact
+// mean, variance, extrema and sample count, so aggregates merged after a
+// save/load round trip equal aggregates merged live.
+type WelfordState struct {
+	N        uint64
+	Mean     float64
+	M2       float64
+	Min, Max float64
+}
+
+// State snapshots the aggregate.
+func (w *Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2, Min: w.min, Max: w.max}
+}
+
+// WelfordFromState reconstructs an aggregate from a snapshot.
+func WelfordFromState(s WelfordState) Welford {
+	return Welford{n: s.N, mean: s.Mean, m2: s.M2, min: s.Min, max: s.Max}
+}
+
 // CounterSet is a map of named uint64 counters with deterministic
 // iteration. The zero value is ready to use, like the other aggregates in
 // this package: the backing map is allocated on first Add.

@@ -138,3 +138,31 @@ func TestHistogramPanicsOnBadConfig(t *testing.T) {
 	}()
 	NewHistogram(0, 1)
 }
+
+// TestWelfordStateRoundTrip: the exported snapshot must reconstruct an
+// aggregate that behaves identically — same moments, same extrema, and
+// identical results when merged (the Table 5 save/load requirement).
+func TestWelfordStateRoundTrip(t *testing.T) {
+	var w Welford
+	for i := 0; i < 100; i++ {
+		w.Add(float64(i%17) * 1.5e-7)
+	}
+	got := WelfordFromState(w.State())
+	if got != w {
+		t.Fatalf("state round trip: got %+v want %+v", got, w)
+	}
+	var o Welford
+	for i := 0; i < 37; i++ {
+		o.Add(float64(i) * 2.5e-7)
+	}
+	live, restored := w, WelfordFromState(w.State())
+	live.Merge(o)
+	restored.Merge(WelfordFromState(o.State()))
+	if live != restored {
+		t.Fatalf("merge after round trip diverged: %+v vs %+v", restored, live)
+	}
+	var zero Welford
+	if WelfordFromState(zero.State()) != zero {
+		t.Fatal("zero-value state round trip")
+	}
+}

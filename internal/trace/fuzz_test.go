@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// FuzzReadLog drives both log readers over both format versions. The
+// property under test is robustness, not correctness: arbitrary input —
+// including corrupt headers that claim enormous record counts — must
+// produce an error or a record, never a panic or a multi-gigabyte
+// allocation.
+func FuzzReadLog(f *testing.F) {
+	// Seed: valid v1 log.
+	rng := rand.New(rand.NewSource(10))
+	rec := randRecord(rng)
+	var v1 bytes.Buffer
+	if err := WriteLog(&v1, rec.Samples[:2]); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+
+	// Seed: valid v2 log.
+	var v2 bytes.Buffer
+	if err := WriteRunRecord(&v2, rec); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+
+	// Seed: the overallocation crasher — a bare v1 header claiming 2³²-1
+	// samples (~2 TB if trusted).
+	var huge bytes.Buffer
+	binary.Write(&huge, binary.LittleEndian, [4]uint32{logMagic, logVersion, 1<<32 - 1, uint32(NumUnits)})
+	f.Add(huge.Bytes())
+
+	// Seed: a v2 header with a SAMP section lying about its sample count.
+	var lie bytes.Buffer
+	binary.Write(&lie, binary.LittleEndian, [2]uint32{logMagic, logVersion2})
+	lie.Write(tagSamp[:])
+	binary.Write(&lie, binary.LittleEndian, uint64(12))
+	binary.Write(&lie, binary.LittleEndian, uint32(NumUnits))
+	binary.Write(&lie, binary.LittleEndian, uint64(1)<<60)
+	f.Add(lie.Bytes())
+
+	// Seed: a v2 stream with a huge unknown tag/size pair, and garbage.
+	var junk bytes.Buffer
+	binary.Write(&junk, binary.LittleEndian, [2]uint32{logMagic, logVersion2})
+	junk.WriteString("JUNK")
+	binary.Write(&junk, binary.LittleEndian, uint64(1)<<62)
+	f.Add(junk.Bytes())
+	f.Add([]byte("not a log at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Both entry points must stay well-behaved on the same bytes.
+		if samples, err := ReadLog(bytes.NewReader(data)); err == nil {
+			_ = samples
+		}
+		if rec, err := ReadRunRecord(bytes.NewReader(data)); err == nil && rec == nil {
+			t.Fatal("nil record without error")
+		}
+	})
+}

@@ -7,16 +7,26 @@ import (
 	"io"
 )
 
-// Log file format: a small header followed by fixed-size sample records.
-// This mirrors SimOS's approach of dumping sampled statistics to simulation
-// log files that the power estimator later post-processes.
+// Log file formats. Version 1 is a small header followed by fixed-size
+// sample records — SimOS-style dumps of the sampled statistics windows
+// alone. Version 2 (logv2.go) is a sectioned, self-describing record of a
+// complete run. Both versions share the magic, and ReadLog accepts either.
 
 const (
 	logMagic   = 0x53574154 // "SWAT"
 	logVersion = 1
 )
 
-// WriteLog serialises samples to w.
+// maxSamplePrealloc bounds how many samples a reader allocates up front.
+// Header counts are untrusted: a truncated or corrupt log must not be able
+// to demand gigabytes before the first record fails to parse, so readers
+// start from a bounded capacity and grow as records actually arrive.
+const maxSamplePrealloc = 4096
+
+// sampleBytes is the on-disk size of one fixed-size sample record.
+const sampleBytes = 16 + int(NumModes)*(int(NumUnits)*8+16)
+
+// WriteLog serialises samples in the version-1 sample-only format.
 func WriteLog(w io.Writer, samples []Sample) error {
 	bw := bufio.NewWriter(w)
 	hdr := [4]uint32{logMagic, logVersion, uint32(len(samples)), uint32(NumUnits)}
@@ -24,63 +34,98 @@ func WriteLog(w io.Writer, samples []Sample) error {
 		return err
 	}
 	for i := range samples {
-		s := &samples[i]
-		if err := binary.Write(bw, binary.LittleEndian, s.Start); err != nil {
+		if err := writeSample(bw, &samples[i]); err != nil {
 			return err
-		}
-		if err := binary.Write(bw, binary.LittleEndian, s.End); err != nil {
-			return err
-		}
-		for m := range s.Mode {
-			b := &s.Mode[m]
-			if err := binary.Write(bw, binary.LittleEndian, b.Units[:]); err != nil {
-				return err
-			}
-			if err := binary.Write(bw, binary.LittleEndian, [2]uint64{b.Cycles, b.Insts}); err != nil {
-				return err
-			}
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadLog deserialises samples from r.
+// writeSample emits one fixed-size sample record.
+func writeSample(w io.Writer, s *Sample) error {
+	if err := binary.Write(w, binary.LittleEndian, [2]uint64{s.Start, s.End}); err != nil {
+		return err
+	}
+	for m := range s.Mode {
+		b := &s.Mode[m]
+		if err := binary.Write(w, binary.LittleEndian, b.Units[:]); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, [2]uint64{b.Cycles, b.Insts}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readSample parses one fixed-size sample record.
+func readSample(r io.Reader, s *Sample) error {
+	var se [2]uint64
+	if err := binary.Read(r, binary.LittleEndian, se[:]); err != nil {
+		return err
+	}
+	s.Start, s.End = se[0], se[1]
+	for m := range s.Mode {
+		b := &s.Mode[m]
+		if err := binary.Read(r, binary.LittleEndian, b.Units[:]); err != nil {
+			return err
+		}
+		var ci [2]uint64
+		if err := binary.Read(r, binary.LittleEndian, ci[:]); err != nil {
+			return err
+		}
+		b.Cycles, b.Insts = ci[0], ci[1]
+	}
+	return nil
+}
+
+// readSamples reads n sample records, growing the slice as records arrive
+// rather than trusting n for the allocation.
+func readSamples(r io.Reader, n int) ([]Sample, error) {
+	c := n
+	if c > maxSamplePrealloc {
+		c = maxSamplePrealloc
+	}
+	samples := make([]Sample, 0, c)
+	for i := 0; i < n; i++ {
+		var s Sample
+		if err := readSample(r, &s); err != nil {
+			return nil, fmt.Errorf("trace: truncated log: sample %d of %d: %w", i, n, err)
+		}
+		samples = append(samples, s)
+	}
+	return samples, nil
+}
+
+// ReadLog deserialises the sample windows of a log of either format
+// version: the samples themselves from a v1 log, the SAMP section of a v2
+// run record.
 func ReadLog(r io.Reader) ([]Sample, error) {
 	br := bufio.NewReader(r)
-	var hdr [4]uint32
+	var hdr [2]uint32
 	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
 	if hdr[0] != logMagic {
 		return nil, fmt.Errorf("trace: bad magic %#x", hdr[0])
 	}
-	if hdr[1] != logVersion {
+	switch hdr[1] {
+	case logVersion:
+		var rest [2]uint32
+		if err := binary.Read(br, binary.LittleEndian, rest[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+		if rest[1] != uint32(NumUnits) {
+			return nil, fmt.Errorf("trace: log has %d units, binary has %d", rest[1], NumUnits)
+		}
+		return readSamples(br, int(rest[0]))
+	case logVersion2:
+		rec, err := readRecordSections(br)
+		if err != nil {
+			return nil, err
+		}
+		return rec.Samples, nil
+	default:
 		return nil, fmt.Errorf("trace: unsupported version %d", hdr[1])
 	}
-	if hdr[3] != uint32(NumUnits) {
-		return nil, fmt.Errorf("trace: log has %d units, binary has %d", hdr[3], NumUnits)
-	}
-	n := int(hdr[2])
-	samples := make([]Sample, n)
-	for i := range samples {
-		s := &samples[i]
-		if err := binary.Read(br, binary.LittleEndian, &s.Start); err != nil {
-			return nil, err
-		}
-		if err := binary.Read(br, binary.LittleEndian, &s.End); err != nil {
-			return nil, err
-		}
-		for m := range s.Mode {
-			b := &s.Mode[m]
-			if err := binary.Read(br, binary.LittleEndian, b.Units[:]); err != nil {
-				return nil, err
-			}
-			var ci [2]uint64
-			if err := binary.Read(br, binary.LittleEndian, ci[:]); err != nil {
-				return nil, err
-			}
-			b.Cycles, b.Insts = ci[0], ci[1]
-		}
-	}
-	return samples, nil
 }

@@ -1,0 +1,558 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"softwatt/internal/stats"
+)
+
+// Version 2 of the log format captures a complete run — identity, resolved
+// configuration, mode totals, per-service statistics including the Welford
+// per-invocation-energy state, disk activity and energy, and the sample
+// windows — so every report can be regenerated from the log alone, with no
+// re-simulation. The layout is sectioned and self-describing:
+//
+//	uint32 magic "SWAT", uint32 version = 2
+//	repeated sections, each:
+//	    [4]byte tag, uint64 payload size, payload
+//	terminated by the "END\0" section (size 0)
+//
+// All integers are little-endian; floats are IEEE-754 bit patterns, so
+// values round-trip exactly. Readers skip sections with unknown tags and
+// unrecognised trailing bytes inside known sections, which is how future
+// minor revisions stay readable; dimension counts (modes, units, services)
+// are embedded in each section and checked against the running binary.
+// Record counts are never trusted for allocation: readers grow slices as
+// records actually parse (see maxSamplePrealloc), so a corrupt or
+// truncated log fails with an error instead of an enormous allocation.
+
+const logVersion2 = 2
+
+// Section tags.
+var (
+	tagMeta = [4]byte{'M', 'E', 'T', 'A'}
+	tagConf = [4]byte{'C', 'O', 'N', 'F'}
+	tagMode = [4]byte{'M', 'O', 'D', 'E'}
+	tagSvcs = [4]byte{'S', 'V', 'C', 'S'}
+	tagDisk = [4]byte{'D', 'I', 'S', 'K'}
+	tagSamp = [4]byte{'S', 'A', 'M', 'P'}
+	tagEnd  = [4]byte{'E', 'N', 'D', 0}
+)
+
+// Sanity caps on untrusted counts. Each bounds the allocation a hostile
+// header field can demand before the payload has to back it up.
+const (
+	maxStringBytes  = 1 << 20
+	maxConfEntries  = 1 << 16
+	maxDiskStates   = 1 << 10
+	maxSkippedBytes = 1 << 30
+)
+
+// ConfigEntry is one key=value pair of the resolved run configuration.
+type ConfigEntry struct {
+	Key, Value string
+}
+
+// ServiceRecord is the serialisable form of one kernel service's aggregate
+// statistics, with the Welford state exported so Table 5 merges survive a
+// round trip.
+type ServiceRecord struct {
+	Invocations uint64
+	Total       Bucket
+	Energy      stats.WelfordState
+}
+
+// DiskRecord is the serialisable form of the disk subsystem's activity
+// statistics. StateCycles is indexed by the disk's operating-mode
+// enumeration; its length is recorded in the log so the record stays
+// readable if the mode set grows.
+type DiskRecord struct {
+	Reads, Writes uint64
+	BytesMoved    uint64
+	Spinups       uint64
+	Spindowns     uint64
+	StateCycles   []uint64
+}
+
+// RunRecord is the complete result of one simulation run in serialisable
+// form. internal/core converts between this and its RunResult.
+type RunRecord struct {
+	Benchmark string
+	Core      string
+	ClockHz   float64
+
+	Config []ConfigEntry
+
+	ModeTotals [NumModes]Bucket
+	Services   [NumSvc]ServiceRecord
+
+	TotalCycles uint64
+	Committed   uint64
+	IdleCycles  uint64
+
+	DiskEnergyJ float64
+	Disk        DiskRecord
+
+	Samples []Sample
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+// sectionWriter accumulates little-endian primitives for one section.
+type sectionWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (s *sectionWriter) u32(v uint32) {
+	if s.err == nil {
+		s.err = binary.Write(s.w, binary.LittleEndian, v)
+	}
+}
+
+func (s *sectionWriter) u64(v uint64) {
+	if s.err == nil {
+		s.err = binary.Write(s.w, binary.LittleEndian, v)
+	}
+}
+
+func (s *sectionWriter) f64(v float64) { s.u64(math.Float64bits(v)) }
+
+func (s *sectionWriter) str(v string) {
+	s.u32(uint32(len(v)))
+	if s.err == nil {
+		_, s.err = s.w.WriteString(v)
+	}
+}
+
+func (s *sectionWriter) bucket(b *Bucket) {
+	for _, u := range b.Units {
+		s.u64(u)
+	}
+	s.u64(b.Cycles)
+	s.u64(b.Insts)
+}
+
+func (s *sectionWriter) section(tag [4]byte, size uint64) {
+	if s.err == nil {
+		_, s.err = s.w.Write(tag[:])
+	}
+	s.u64(size)
+}
+
+const bucketBytes = int(NumUnits)*8 + 16
+
+// WriteRunRecord serialises rec in the version-2 format.
+func WriteRunRecord(w io.Writer, rec *RunRecord) error {
+	bw := bufio.NewWriter(w)
+	s := &sectionWriter{w: bw}
+	s.u32(logMagic)
+	s.u32(logVersion2)
+
+	// META: identity and whole-run totals.
+	s.section(tagMeta, uint64(4+len(rec.Benchmark)+4+len(rec.Core)+5*8))
+	s.str(rec.Benchmark)
+	s.str(rec.Core)
+	s.f64(rec.ClockHz)
+	s.u64(rec.TotalCycles)
+	s.u64(rec.Committed)
+	s.u64(rec.IdleCycles)
+	s.f64(rec.DiskEnergyJ)
+
+	// CONF: the resolved configuration, in writer order.
+	confSize := uint64(4)
+	for _, e := range rec.Config {
+		confSize += uint64(4 + len(e.Key) + 4 + len(e.Value))
+	}
+	s.section(tagConf, confSize)
+	s.u32(uint32(len(rec.Config)))
+	for _, e := range rec.Config {
+		s.str(e.Key)
+		s.str(e.Value)
+	}
+
+	// MODE: per-mode whole-run buckets.
+	s.section(tagMode, uint64(8+int(NumModes)*bucketBytes))
+	s.u32(uint32(NumModes))
+	s.u32(uint32(NumUnits))
+	for m := range rec.ModeTotals {
+		s.bucket(&rec.ModeTotals[m])
+	}
+
+	// SVCS: per-service aggregates including the Welford state.
+	s.section(tagSvcs, uint64(8+int(NumSvc)*(8+bucketBytes+5*8)))
+	s.u32(uint32(NumSvc))
+	s.u32(uint32(NumUnits))
+	for i := range rec.Services {
+		sv := &rec.Services[i]
+		s.u64(sv.Invocations)
+		s.bucket(&sv.Total)
+		s.u64(sv.Energy.N)
+		s.f64(sv.Energy.Mean)
+		s.f64(sv.Energy.M2)
+		s.f64(sv.Energy.Min)
+		s.f64(sv.Energy.Max)
+	}
+
+	// DISK: activity statistics.
+	s.section(tagDisk, uint64(5*8+4+len(rec.Disk.StateCycles)*8))
+	s.u64(rec.Disk.Reads)
+	s.u64(rec.Disk.Writes)
+	s.u64(rec.Disk.BytesMoved)
+	s.u64(rec.Disk.Spinups)
+	s.u64(rec.Disk.Spindowns)
+	s.u32(uint32(len(rec.Disk.StateCycles)))
+	for _, c := range rec.Disk.StateCycles {
+		s.u64(c)
+	}
+
+	// SAMP: the sample windows, streamed.
+	s.section(tagSamp, uint64(12+len(rec.Samples)*sampleBytes))
+	s.u32(uint32(NumUnits))
+	s.u64(uint64(len(rec.Samples)))
+	if s.err == nil {
+		for i := range rec.Samples {
+			if err := writeSample(bw, &rec.Samples[i]); err != nil {
+				return err
+			}
+		}
+	}
+
+	s.section(tagEnd, 0)
+	if s.err != nil {
+		return s.err
+	}
+	return bw.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------------
+
+// sectionReader parses little-endian primitives from one size-limited
+// section payload.
+type sectionReader struct {
+	r *io.LimitedReader
+}
+
+func (s *sectionReader) u32() (uint32, error) {
+	var v uint32
+	err := binary.Read(s.r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func (s *sectionReader) u64() (uint64, error) {
+	var v uint64
+	err := binary.Read(s.r, binary.LittleEndian, &v)
+	return v, err
+}
+
+func (s *sectionReader) f64() (float64, error) {
+	v, err := s.u64()
+	return math.Float64frombits(v), err
+}
+
+func (s *sectionReader) str() (string, error) {
+	n, err := s.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringBytes {
+		return "", fmt.Errorf("trace: string length %d exceeds cap", n)
+	}
+	if uint64(n) > uint64(s.r.N) {
+		return "", fmt.Errorf("trace: string length %d exceeds section", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(s.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func (s *sectionReader) bucket(b *Bucket) error {
+	if err := binary.Read(s.r, binary.LittleEndian, b.Units[:]); err != nil {
+		return err
+	}
+	var ci [2]uint64
+	if err := binary.Read(s.r, binary.LittleEndian, ci[:]); err != nil {
+		return err
+	}
+	b.Cycles, b.Insts = ci[0], ci[1]
+	return nil
+}
+
+// dims reads and checks the (count, units) pair prefixed to the array
+// sections, failing when the log's dimensions disagree with the binary's.
+func (s *sectionReader) dims(what string, want int) error {
+	n, err := s.u32()
+	if err != nil {
+		return err
+	}
+	units, err := s.u32()
+	if err != nil {
+		return err
+	}
+	if n != uint32(want) {
+		return fmt.Errorf("trace: log has %d %s, binary has %d", n, what, want)
+	}
+	if units != uint32(NumUnits) {
+		return fmt.Errorf("trace: log has %d units, binary has %d", units, NumUnits)
+	}
+	return nil
+}
+
+// ReadRunRecord deserialises a run record. A version-2 log restores the
+// complete record. A version-1 sample-only log is also accepted: the
+// samples are read and the mode totals and cycle/instruction counts are
+// rebuilt from them, with the identity, configuration, service and disk
+// fields left zero.
+func ReadRunRecord(r io.Reader) (*RunRecord, error) {
+	br := bufio.NewReader(r)
+	var hdr [2]uint32
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr[0] != logMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", hdr[0])
+	}
+	switch hdr[1] {
+	case logVersion:
+		var rest [2]uint32
+		if err := binary.Read(br, binary.LittleEndian, rest[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+		if rest[1] != uint32(NumUnits) {
+			return nil, fmt.Errorf("trace: log has %d units, binary has %d", rest[1], NumUnits)
+		}
+		samples, err := readSamples(br, int(rest[0]))
+		if err != nil {
+			return nil, err
+		}
+		return recordFromSamples(samples), nil
+	case logVersion2:
+		return readRecordSections(br)
+	default:
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[1])
+	}
+}
+
+// recordFromSamples rebuilds the derivable aggregate fields of a record
+// from bare sample windows (the v1 upgrade path).
+func recordFromSamples(samples []Sample) *RunRecord {
+	rec := &RunRecord{Samples: samples}
+	for i := range samples {
+		for m := range rec.ModeTotals {
+			rec.ModeTotals[m].Add(&samples[i].Mode[m])
+		}
+	}
+	for m := range rec.ModeTotals {
+		rec.TotalCycles += rec.ModeTotals[m].Cycles
+		rec.Committed += rec.ModeTotals[m].Insts
+	}
+	rec.IdleCycles = rec.ModeTotals[ModeIdle].Cycles
+	return rec
+}
+
+// readRecordSections parses the section stream after a v2 header.
+func readRecordSections(br *bufio.Reader) (*RunRecord, error) {
+	rec := &RunRecord{}
+	for {
+		var tag [4]byte
+		if _, err := io.ReadFull(br, tag[:]); err != nil {
+			return nil, fmt.Errorf("trace: truncated log: reading section tag: %w", err)
+		}
+		var size uint64
+		if err := binary.Read(br, binary.LittleEndian, &size); err != nil {
+			return nil, fmt.Errorf("trace: truncated log: reading section size: %w", err)
+		}
+		if tag == tagEnd {
+			return rec, nil
+		}
+		if size > uint64(math.MaxInt64) {
+			return nil, fmt.Errorf("trace: section %q size %d out of range", tag[:], size)
+		}
+		lr := &io.LimitedReader{R: br, N: int64(size)}
+		var err error
+		switch tag {
+		case tagMeta:
+			err = readMeta(&sectionReader{lr}, rec)
+		case tagConf:
+			err = readConf(&sectionReader{lr}, rec)
+		case tagMode:
+			err = readMode(&sectionReader{lr}, rec)
+		case tagSvcs:
+			err = readSvcs(&sectionReader{lr}, rec)
+		case tagDisk:
+			err = readDisk(&sectionReader{lr}, rec)
+		case tagSamp:
+			err = readSamp(&sectionReader{lr}, rec)
+		default:
+			// Unknown section from a newer writer: skip its payload.
+			if size > maxSkippedBytes {
+				return nil, fmt.Errorf("trace: unknown section %q size %d exceeds cap", tag[:], size)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: section %q: %w", tag[:], err)
+		}
+		// Drain unrecognised trailing bytes (a newer minor revision may
+		// have appended fields); a shortfall here is a truncated log.
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			return nil, fmt.Errorf("trace: section %q: %w", tag[:], err)
+		}
+		if lr.N > 0 {
+			return nil, fmt.Errorf("trace: section %q truncated", tag[:])
+		}
+	}
+}
+
+func readMeta(s *sectionReader, rec *RunRecord) error {
+	var err error
+	if rec.Benchmark, err = s.str(); err != nil {
+		return err
+	}
+	if rec.Core, err = s.str(); err != nil {
+		return err
+	}
+	if rec.ClockHz, err = s.f64(); err != nil {
+		return err
+	}
+	if rec.TotalCycles, err = s.u64(); err != nil {
+		return err
+	}
+	if rec.Committed, err = s.u64(); err != nil {
+		return err
+	}
+	if rec.IdleCycles, err = s.u64(); err != nil {
+		return err
+	}
+	rec.DiskEnergyJ, err = s.f64()
+	return err
+}
+
+func readConf(s *sectionReader, rec *RunRecord) error {
+	n, err := s.u32()
+	if err != nil {
+		return err
+	}
+	if n > maxConfEntries {
+		return fmt.Errorf("config entry count %d exceeds cap", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var e ConfigEntry
+		if e.Key, err = s.str(); err != nil {
+			return err
+		}
+		if e.Value, err = s.str(); err != nil {
+			return err
+		}
+		rec.Config = append(rec.Config, e)
+	}
+	return nil
+}
+
+func readMode(s *sectionReader, rec *RunRecord) error {
+	if err := s.dims("modes", int(NumModes)); err != nil {
+		return err
+	}
+	for m := range rec.ModeTotals {
+		if err := s.bucket(&rec.ModeTotals[m]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readSvcs(s *sectionReader, rec *RunRecord) error {
+	if err := s.dims("services", int(NumSvc)); err != nil {
+		return err
+	}
+	for i := range rec.Services {
+		sv := &rec.Services[i]
+		var err error
+		if sv.Invocations, err = s.u64(); err != nil {
+			return err
+		}
+		if err = s.bucket(&sv.Total); err != nil {
+			return err
+		}
+		if sv.Energy.N, err = s.u64(); err != nil {
+			return err
+		}
+		if sv.Energy.Mean, err = s.f64(); err != nil {
+			return err
+		}
+		if sv.Energy.M2, err = s.f64(); err != nil {
+			return err
+		}
+		if sv.Energy.Min, err = s.f64(); err != nil {
+			return err
+		}
+		if sv.Energy.Max, err = s.f64(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readDisk(s *sectionReader, rec *RunRecord) error {
+	var err error
+	if rec.Disk.Reads, err = s.u64(); err != nil {
+		return err
+	}
+	if rec.Disk.Writes, err = s.u64(); err != nil {
+		return err
+	}
+	if rec.Disk.BytesMoved, err = s.u64(); err != nil {
+		return err
+	}
+	if rec.Disk.Spinups, err = s.u64(); err != nil {
+		return err
+	}
+	if rec.Disk.Spindowns, err = s.u64(); err != nil {
+		return err
+	}
+	n, err := s.u32()
+	if err != nil {
+		return err
+	}
+	if n > maxDiskStates {
+		return fmt.Errorf("disk state count %d exceeds cap", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		c, err := s.u64()
+		if err != nil {
+			return err
+		}
+		rec.Disk.StateCycles = append(rec.Disk.StateCycles, c)
+	}
+	return nil
+}
+
+func readSamp(s *sectionReader, rec *RunRecord) error {
+	units, err := s.u32()
+	if err != nil {
+		return err
+	}
+	if units != uint32(NumUnits) {
+		return fmt.Errorf("log has %d units, binary has %d", units, NumUnits)
+	}
+	count, err := s.u64()
+	if err != nil {
+		return err
+	}
+	// The section size bounds how many samples can actually follow; a
+	// count beyond that is corrupt before any allocation happens.
+	if avail := uint64(s.r.N) / uint64(sampleBytes); count > avail {
+		return fmt.Errorf("sample count %d exceeds section payload (%d available)", count, avail)
+	}
+	rec.Samples, err = readSamples(s.r, int(count))
+	return err
+}

@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"softwatt/internal/stats"
+)
+
+// randRecord builds a pseudo-random but deterministic full run record.
+func randRecord(rng *rand.Rand) *RunRecord {
+	rb := func() Bucket {
+		var b Bucket
+		for u := range b.Units {
+			b.Units[u] = rng.Uint64() >> 16
+		}
+		b.Cycles = rng.Uint64() >> 16
+		b.Insts = rng.Uint64() >> 16
+		return b
+	}
+	rec := &RunRecord{
+		Benchmark:   "jess",
+		Core:        "mxs",
+		ClockHz:     float64(100+rng.Intn(400)) * 1e6,
+		TotalCycles: rng.Uint64() >> 8,
+		Committed:   rng.Uint64() >> 8,
+		IdleCycles:  rng.Uint64() >> 8,
+		DiskEnergyJ: rng.Float64(),
+		Config: []ConfigEntry{
+			{Key: "core", Value: "mxs"},
+			{Key: "clock_hz", Value: "2e+08"},
+			{Key: "empty", Value: ""},
+		},
+		Disk: DiskRecord{
+			Reads:       rng.Uint64() >> 32,
+			Writes:      rng.Uint64() >> 32,
+			BytesMoved:  rng.Uint64() >> 16,
+			Spinups:     uint64(rng.Intn(10)),
+			Spindowns:   uint64(rng.Intn(10)),
+			StateCycles: []uint64{rng.Uint64(), rng.Uint64(), rng.Uint64()},
+		},
+	}
+	for m := range rec.ModeTotals {
+		rec.ModeTotals[m] = rb()
+	}
+	for s := range rec.Services {
+		var w stats.Welford
+		for i, n := 0, rng.Intn(20); i < n; i++ {
+			w.Add(rng.Float64() * 1e-6)
+		}
+		rec.Services[s] = ServiceRecord{
+			Invocations: uint64(rng.Intn(10000)),
+			Total:       rb(),
+			Energy:      w.State(),
+		}
+	}
+	for i, n := 0, 1+rng.Intn(50); i < n; i++ {
+		var s Sample
+		s.Start = uint64(i) * 20000
+		s.End = s.Start + 20000
+		for m := range s.Mode {
+			s.Mode[m] = rb()
+		}
+		rec.Samples = append(rec.Samples, s)
+	}
+	return rec
+}
+
+// TestRunRecordRoundTrip is the write→read equality property test: every
+// field of the record — the Welford mean/variance state and disk stats
+// included — must survive serialisation bit-exactly.
+func TestRunRecordRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		rec := randRecord(rng)
+		var buf bytes.Buffer
+		if err := WriteRunRecord(&buf, rec); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		got, err := ReadRunRecord(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: read: %v", trial, err)
+		}
+		if !reflect.DeepEqual(rec, got) {
+			t.Fatalf("trial %d: round trip mismatch:\nwrote %+v\nread  %+v", trial, rec, got)
+		}
+		// The Welford state must behave identically after the trip, not
+		// just compare equal: merging two restored aggregates must match
+		// merging the originals.
+		a := stats.WelfordFromState(rec.Services[SvcRead].Energy)
+		b := stats.WelfordFromState(got.Services[SvcRead].Energy)
+		if a.Mean() != b.Mean() || a.Variance() != b.Variance() || a.N() != b.N() {
+			t.Fatalf("trial %d: welford state drifted", trial)
+		}
+	}
+}
+
+// TestReadRunRecordV1 checks the compat path: a version-1 sample-only log
+// loads as a record with the sample-derivable fields rebuilt.
+func TestReadRunRecordV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rec := randRecord(rng)
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, rec.Samples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRunRecord(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Samples, rec.Samples) {
+		t.Fatal("v1 samples did not round trip")
+	}
+	var wantTotals [NumModes]Bucket
+	var cycles, insts uint64
+	for i := range rec.Samples {
+		for m := range wantTotals {
+			wantTotals[m].Add(&rec.Samples[i].Mode[m])
+		}
+	}
+	for m := range wantTotals {
+		cycles += wantTotals[m].Cycles
+		insts += wantTotals[m].Insts
+	}
+	if got.ModeTotals != wantTotals {
+		t.Fatal("v1 mode totals not rebuilt from samples")
+	}
+	if got.TotalCycles != cycles || got.Committed != insts {
+		t.Fatalf("v1 totals: got %d/%d want %d/%d", got.TotalCycles, got.Committed, cycles, insts)
+	}
+	if got.Benchmark != "" || got.Services[SvcRead].Invocations != 0 {
+		t.Fatal("v1 log invented non-derivable fields")
+	}
+}
+
+// TestReadLogBothVersions checks ReadLog returns the sample windows of
+// either format.
+func TestReadLogBothVersions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rec := randRecord(rng)
+	var v1, v2 bytes.Buffer
+	if err := WriteLog(&v1, rec.Samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRunRecord(&v2, rec); err != nil {
+		t.Fatal(err)
+	}
+	for _, buf := range []*bytes.Buffer{&v1, &v2} {
+		got, err := ReadLog(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, rec.Samples) {
+			t.Fatal("samples mismatch")
+		}
+	}
+}
+
+// TestReadLogTruncatedHugeCount is the allocation-bound regression test:
+// a 16-byte header claiming ~2³² samples (≈2 TB once expanded) must fail
+// as a truncated log, not attempt the allocation. Against the pre-fix
+// reader this test dies allocating make([]Sample, 4294967295).
+func TestReadLogTruncatedHugeCount(t *testing.T) {
+	var hdr bytes.Buffer
+	binary.Write(&hdr, binary.LittleEndian, [4]uint32{logMagic, logVersion, 1<<32 - 1, uint32(NumUnits)})
+	if _, err := ReadLog(bytes.NewReader(hdr.Bytes())); err == nil {
+		t.Fatal("truncated log with huge sample count accepted")
+	}
+}
+
+// TestReadRunRecordHugeSampleCount: the v2 SAMP section's sample count is
+// validated against the section's actual payload size before any
+// allocation.
+func TestReadRunRecordHugeSampleCount(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, [2]uint32{logMagic, logVersion2})
+	buf.Write(tagSamp[:])
+	binary.Write(&buf, binary.LittleEndian, uint64(12)) // room for the prefix alone
+	binary.Write(&buf, binary.LittleEndian, uint32(NumUnits))
+	binary.Write(&buf, binary.LittleEndian, uint64(1<<40)) // claimed samples
+	if _, err := ReadRunRecord(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("lying sample count accepted")
+	}
+}
+
+// TestReadRunRecordSkipsUnknownSection: logs from a future writer with an
+// extra section must still load (the documented compat rule).
+func TestReadRunRecordSkipsUnknownSection(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rec := randRecord(rng)
+	var buf bytes.Buffer
+	if err := WriteRunRecord(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Splice an unknown section in front of the first real one.
+	var spliced bytes.Buffer
+	spliced.Write(raw[:8])
+	spliced.WriteString("XTRA")
+	binary.Write(&spliced, binary.LittleEndian, uint64(5))
+	spliced.WriteString("hello")
+	spliced.Write(raw[8:])
+	got, err := ReadRunRecord(bytes.NewReader(spliced.Bytes()))
+	if err != nil {
+		t.Fatalf("unknown section rejected: %v", err)
+	}
+	if got.Benchmark != rec.Benchmark || got.TotalCycles != rec.TotalCycles {
+		t.Fatal("record mangled after unknown section")
+	}
+}
+
+// TestReadRunRecordMissingEnd: a log cut off before the END marker is a
+// truncation error, never a silent partial record.
+func TestReadRunRecordMissingEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var buf bytes.Buffer
+	if err := WriteRunRecord(&buf, randRecord(rng)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{len(raw) - 1, len(raw) - 12, len(raw) / 2, 9, 17} {
+		if _, err := ReadRunRecord(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package softwatt
+
+// Run-log persistence. SoftWatt's methodology is post-processing: power
+// numbers come from a pass over sampled simulation logs, not from the live
+// simulation (disk energy excepted). This file makes that split durable —
+// a complete RunResult saves to a versioned self-describing log
+// (internal/trace format v2) and loads back bit-identically, so every
+// table and figure can be regenerated from saved logs with zero
+// re-simulation, and a directory of logs acts as a simulation cache keyed
+// by a digest of the resolved configuration.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"softwatt/internal/core"
+)
+
+// SaveResult serialises a complete run result to w in the version-2 log
+// format: identity, resolved configuration, mode totals, per-service
+// statistics (including the per-invocation energy aggregation state), disk
+// stats and energy, and the sample windows. A loaded result reproduces
+// every report byte-identically.
+func SaveResult(w io.Writer, r *RunResult) error { return core.SaveResult(w, r) }
+
+// LoadResult deserialises a result saved by SaveResult. Version-1
+// sample-only logs (written by softwatt -log) also load, with just the
+// sample-derivable fields populated.
+func LoadResult(r io.Reader) (*RunResult, error) { return core.LoadResult(r) }
+
+// SaveResultFile writes a run log file, creating or truncating path.
+func SaveResultFile(path string, r *RunResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveResult(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadResultFile reads a run log file.
+func LoadResultFile(path string) (*RunResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := LoadResult(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// RunSpec names one simulation: a benchmark under explicit options.
+type RunSpec struct {
+	Benchmark string
+	Options   Options
+	// Label identifies the cell in progress reports and batch errors;
+	// empty defaults to Benchmark.
+	Label string
+}
+
+func (s RunSpec) label() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return s.Benchmark
+}
+
+// SpecDigest returns the configuration digest a run of spec would carry:
+// the log-cache key. Two specs share a digest exactly when they resolve to
+// the same benchmark and machine configuration.
+func SpecDigest(spec RunSpec) (string, error) {
+	cfg, err := spec.Options.MachineConfig()
+	if err != nil {
+		return "", err
+	}
+	return core.ConfigDigest(spec.Benchmark, cfg.Core.String(), core.ConfigEntries(cfg)), nil
+}
+
+// ResultDigest returns the configuration digest recorded in a result (or
+// loaded from its log). A result answers for a spec when this equals
+// SpecDigest(spec).
+func ResultDigest(r *RunResult) string { return r.Digest() }
+
+// RunBatch simulates an arbitrary list of (benchmark, options) cells on
+// the parallel job engine. Results are in spec order; all names are
+// validated up front. On error the returned slice still holds every
+// successful cell (failed cells are nil) and the error is a *BatchError
+// listing each failure.
+func RunBatch(specs []RunSpec, b BatchOptions) ([]*RunResult, error) {
+	benches := make([]string, len(specs))
+	cells := make([]batchCell, len(specs))
+	for i, sp := range specs {
+		benches[i] = sp.Benchmark
+		if _, err := sp.Options.MachineConfig(); err != nil {
+			return nil, err
+		}
+		cells[i] = batchCell{label: sp.label(), bench: sp.Benchmark, opt: sp.Options}
+	}
+	if err := validateBenchmarks(benches); err != nil {
+		return nil, err
+	}
+	return runBatch(cells, b)
+}
+
+// CacheFileName is the log file name RunBatchCached uses for a spec within
+// the cache directory.
+func CacheFileName(spec RunSpec) (string, error) {
+	digest, err := SpecDigest(spec)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s-%s.swlog", spec.Benchmark, digest), nil
+}
+
+// RunBatchCached is RunBatch backed by a directory of saved run logs. A
+// cell whose log is present (matched by configuration digest) loads
+// instead of simulating; the remaining cells simulate on the parallel
+// engine, each cell's log written as it completes. An unreadable or
+// mismatched log file is treated as a miss and rewritten. Progress and
+// OnResult fire only for simulated cells, so a fully warm cache performs
+// zero simulations. An empty dir disables caching.
+func RunBatchCached(specs []RunSpec, dir string, b BatchOptions) ([]*RunResult, error) {
+	if dir == "" {
+		return RunBatch(specs, b)
+	}
+	results := make([]*RunResult, len(specs))
+	var missIdx []int
+	var missSpecs []RunSpec
+	var missPaths []string
+	for i, sp := range specs {
+		digest, err := SpecDigest(sp)
+		if err != nil {
+			return nil, err
+		}
+		name, err := CacheFileName(sp)
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, name)
+		if r, err := LoadResultFile(path); err == nil && ResultDigest(r) == digest {
+			results[i] = r
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missSpecs = append(missSpecs, sp)
+		missPaths = append(missPaths, path)
+	}
+	if len(missSpecs) == 0 {
+		return results, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	inner := b.OnResult
+	b.OnResult = func(index int, label string, r *RunResult) error {
+		if err := SaveResultFile(missPaths[index], r); err != nil {
+			return err
+		}
+		if inner != nil {
+			return inner(missIdx[index], label, r)
+		}
+		return nil
+	}
+	miss, err := RunBatch(missSpecs, b)
+	for k, i := range missIdx {
+		results[i] = miss[k]
+	}
+	// Remap batch-error indices from miss order back to spec order.
+	if be, ok := err.(*BatchError); ok {
+		for _, je := range be.Jobs {
+			if je.Index >= 0 && je.Index < len(missIdx) {
+				je.Index = missIdx[je.Index]
+			}
+		}
+	}
+	return results, err
+}

@@ -1,0 +1,160 @@
+package softwatt
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLogsVsLiveEquivalence is the acceptance check for the run-log
+// subsystem: every report rendered from a loaded log must be byte-identical
+// to the one rendered from the live result.
+func TestLogsVsLiveEquivalence(t *testing.T) {
+	live, err := Run("jess", Options{Core: "mipsy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "jess.swlog")
+	if err := SaveResultFile(path, live); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadResultFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, loaded) {
+		t.Fatal("loaded result differs from live result")
+	}
+
+	est := NewEstimator()
+	if !reflect.DeepEqual(est.Summarize(live), est.Summarize(loaded)) {
+		t.Fatal("summary diverged")
+	}
+	renders := []struct {
+		name       string
+		live, load string
+	}{
+		{"profile", est.RenderProfile(live, "jess"), est.RenderProfile(loaded, "jess")},
+		{"table2", est.RenderTable2([]*RunResult{live}), est.RenderTable2([]*RunResult{loaded})},
+		{"table4", est.RenderTable4([]*RunResult{live}), est.RenderTable4([]*RunResult{loaded})},
+		{"table5", est.RenderTable5([]*RunResult{live}), est.RenderTable5([]*RunResult{loaded})},
+		{"fig6", est.RenderFig6([]*RunResult{live}), est.RenderFig6([]*RunResult{loaded})},
+		{"fig8", est.RenderFig8([]*RunResult{live}), est.RenderFig8([]*RunResult{loaded})},
+		{"budget", est.RenderBudget([]*RunResult{live}, "jess"), est.RenderBudget([]*RunResult{loaded}, "jess")},
+	}
+	for _, r := range renders {
+		if r.live != r.load {
+			t.Errorf("%s not byte-identical from log:\nlive:\n%s\nlog:\n%s", r.name, r.live, r.load)
+		}
+	}
+}
+
+// TestRunBatchCached checks the cache contract: a cold call simulates and
+// saves every cell, a warm call performs zero simulations yet returns
+// render-identical results, and a corrupt log file heals by re-simulating
+// only its own cell.
+func TestRunBatchCached(t *testing.T) {
+	dir := t.TempDir()
+	specs := []RunSpec{
+		{Benchmark: "compress", Options: Options{Core: "mipsy"}},
+		{Benchmark: "jess", Options: Options{Core: "mipsy", DiskPolicy: "idle"}, Label: "jess/idle"},
+	}
+
+	var simulated atomic.Int64
+	b := BatchOptions{
+		Workers:  2,
+		OnResult: func(int, string, *RunResult) error { simulated.Add(1); return nil },
+	}
+
+	cold, err := RunBatchCached(specs, dir, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := simulated.Load(); n != 2 {
+		t.Fatalf("cold run simulated %d cells, want 2", n)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.swlog"))
+	if len(files) != 2 {
+		t.Fatalf("cold run left %d log files, want 2: %v", len(files), files)
+	}
+
+	simulated.Store(0)
+	warm, err := RunBatchCached(specs, dir, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := simulated.Load(); n != 0 {
+		t.Fatalf("warm run simulated %d cells, want 0", n)
+	}
+	est := NewEstimator()
+	for i := range specs {
+		if est.RenderProfile(cold[i], "x") != est.RenderProfile(warm[i], "x") {
+			t.Fatalf("cell %d renders differently from cache", i)
+		}
+	}
+
+	// Corrupt one log: only that cell re-simulates.
+	name, err := CacheFileName(specs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	simulated.Store(0)
+	healed, err := RunBatchCached(specs, dir, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := simulated.Load(); n != 1 {
+		t.Fatalf("healing run simulated %d cells, want 1", n)
+	}
+	if est.RenderProfile(healed[1], "x") != est.RenderProfile(cold[1], "x") {
+		t.Fatal("healed cell differs from original")
+	}
+}
+
+// TestCacheRejectsWrongDigest: a log for a different configuration sitting
+// at the right path must not answer for the spec.
+func TestCacheRejectsWrongDigest(t *testing.T) {
+	dir := t.TempDir()
+	spec := RunSpec{Benchmark: "compress", Options: Options{Core: "mipsy"}}
+	other := RunSpec{Benchmark: "compress", Options: Options{Core: "mipsy", DiskPolicy: "idle"}}
+
+	r, err := Run(other.Benchmark, other.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := CacheFileName(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant the other config's result under spec's cache name.
+	if err := SaveResultFile(filepath.Join(dir, name), r); err != nil {
+		t.Fatal(err)
+	}
+
+	var simulated atomic.Int64
+	b := BatchOptions{OnResult: func(int, string, *RunResult) error { simulated.Add(1); return nil }}
+	got, err := RunBatchCached([]RunSpec{spec}, dir, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simulated.Load() != 1 {
+		t.Fatal("mismatched log accepted as cache hit")
+	}
+	if got[0].Digest() != mustDigest(t, spec) {
+		t.Fatal("result carries wrong digest")
+	}
+}
+
+func mustDigest(t *testing.T, spec RunSpec) string {
+	t.Helper()
+	d, err := SpecDigest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -203,6 +203,13 @@ type BatchOptions struct {
 	// with the number of finished cells so far, the total, and the
 	// finished cell's label (e.g. "jess/standby2").
 	Progress func(done, total int, label string)
+	// OnResult, when non-nil, is called from the worker goroutine as soon
+	// as a cell's simulation succeeds, before the batch returns — this is
+	// how the CLIs write one run log per cell as the parallel engine
+	// completes it. index is the cell's input-order position. Calls for
+	// different cells may be concurrent. A returned error marks the cell
+	// failed.
+	OnResult func(index int, label string, r *RunResult) error
 }
 
 // runnerOptions adapts BatchOptions to the job engine.
@@ -273,10 +280,16 @@ type batchCell struct {
 func runBatch(cells []batchCell, b BatchOptions) ([]*RunResult, error) {
 	jobs := make([]runner.Job[*RunResult], len(cells))
 	for i, c := range cells {
-		c := c
+		i, c := i, c
 		jobs[i] = runner.Job[*RunResult]{
 			Label: c.label,
-			Run:   func() (*RunResult, error) { return Run(c.bench, c.opt) },
+			Run: func() (*RunResult, error) {
+				r, err := Run(c.bench, c.opt)
+				if err == nil && b.OnResult != nil {
+					err = b.OnResult(i, c.label, r)
+				}
+				return r, err
+			},
 		}
 	}
 	return runner.Map(jobs, b.runnerOptions())
