@@ -315,15 +315,19 @@ func BenchmarkFig9SweepWorkers(b *testing.B) {
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	for _, core := range []string{"mipsy", "mxs"} {
 		b.Run(core, func(b *testing.B) {
-			var cycles uint64
+			var cycles, insts uint64
 			for i := 0; i < b.N; i++ {
 				r, err := Run("compress", Options{Core: core})
 				if err != nil {
 					b.Fatal(err)
 				}
 				cycles += r.TotalCycles
+				insts += r.Committed
 			}
-			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()/1e6, "Mcycles/s")
+			secs := b.Elapsed().Seconds()
+			b.ReportMetric(float64(cycles)/secs/1e6, "Mcycles/s")
+			b.ReportMetric(float64(insts)/secs/1e6, "Minsts/s")
+			b.ReportMetric(secs*1e9/float64(insts), "ns/inst")
 		})
 	}
 }

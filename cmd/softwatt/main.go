@@ -27,10 +27,12 @@ import (
 	"os"
 
 	"softwatt"
+	"softwatt/internal/prof"
 	"softwatt/internal/trace"
 )
 
 func main() {
+	pr := prof.Flags()
 	coreKind := flag.String("core", "mxs", "CPU timing model: mipsy, mxs, mxs1")
 	diskPol := flag.String("disk", "conventional", "disk policy: conventional, idle, standby2, standby4")
 	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = one per CPU)")
@@ -49,6 +51,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := pr.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer pr.Stop()
 	est := softwatt.NewEstimator()
 	if *replay {
 		for i, path := range flag.Args() {

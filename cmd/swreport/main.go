@@ -26,14 +26,21 @@ import (
 	"softwatt"
 	"softwatt/internal/machine"
 	"softwatt/internal/mem"
+	"softwatt/internal/prof"
 	"softwatt/internal/trace"
 )
 
 func main() {
+	pr := prof.Flags()
 	exp := flag.String("exp", "all", "experiment id (see DESIGN.md §4) or 'all'")
 	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = one per CPU)")
 	logsDir := flag.String("logs", "", "run-log cache directory: load saved runs, save simulated ones")
 	flag.Parse()
+	if err := pr.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer pr.Stop()
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {

@@ -25,9 +25,11 @@ import (
 	"os"
 
 	"softwatt"
+	"softwatt/internal/prof"
 )
 
 func main() {
+	pr := prof.Flags()
 	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = one per CPU)")
 	quiet := flag.Bool("q", false, "suppress per-cell progress on stderr")
 	logsDir := flag.String("logs", "", "run-log cache directory: load saved cells, save simulated ones")
@@ -36,6 +38,11 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if err := pr.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer pr.Stop()
 
 	benches := flag.Args()
 	if len(benches) == 0 {

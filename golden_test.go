@@ -1,0 +1,115 @@
+package softwatt
+
+// Golden equivalence tests: the invariance contract behind every host-time
+// optimization of the simulator hot path (DESIGN.md §9). The checked-in
+// testdata goldens were serialized from the unoptimized seed simulator;
+// re-running the same configurations must reproduce the exact logv2 result
+// bytes — every cycle, per-mode/per-service bucket, unit access count,
+// cache hit/miss/writeback, TLB lookup and Welford state — and the same
+// configuration digest. A deliberate timing-model change (one that is meant
+// to alter architected counts) regenerates them with
+//
+//	go test -run TestGoldenResultBytes -update-golden .
+//
+// and the diff in the goldens is the reviewable evidence of the change.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden run logs in testdata/golden")
+
+// goldenCases are the configurations pinned by goldens: the compress
+// workload on both timing models (the in-order Mipsy and the out-of-order
+// MXS exercise disjoint hot paths: blocking-cache stalls vs speculation,
+// wrong-path fetch and batched retirement).
+var goldenCases = []struct {
+	name string
+	opt  Options
+}{
+	{"compress-mipsy", Options{Core: "mipsy"}},
+	{"compress-mxs", Options{Core: "mxs"}},
+}
+
+func goldenPath(name, ext string) string {
+	return filepath.Join("testdata", "golden", name+ext)
+}
+
+func TestGoldenResultBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-run golden comparison skipped in -short mode")
+	}
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := Run("compress", tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := SaveResult(&buf, r); err != nil {
+				t.Fatal(err)
+			}
+			digest := ResultDigest(r)
+
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath(tc.name, ".swlog"), buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath(tc.name, ".digest"), []byte(digest+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes, digest %s)", goldenPath(tc.name, ".swlog"), buf.Len(), digest)
+				return
+			}
+
+			wantDigest, err := os.ReadFile(goldenPath(tc.name, ".digest"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := digest+"\n", string(wantDigest); got != want {
+				t.Errorf("config digest = %q, golden %q", got, want)
+			}
+			want, err := os.ReadFile(goldenPath(tc.name, ".swlog"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("serialized result diverges from golden (%d bytes vs %d): "+
+					"an optimization changed architected counts; see DESIGN.md §9 "+
+					"(first difference at byte %d)", buf.Len(), len(want), firstDiff(buf.Bytes(), want))
+			}
+
+			// The golden must also load back as an equivalent result (guards
+			// against a writer/reader drift making the byte comparison
+			// vacuous).
+			lr, err := LoadResult(bytes.NewReader(want))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lr.TotalCycles != r.TotalCycles || lr.Committed != r.Committed {
+				t.Errorf("golden loads back cycles=%d committed=%d, run produced %d/%d",
+					lr.TotalCycles, lr.Committed, r.TotalCycles, r.Committed)
+			}
+		})
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -136,6 +136,12 @@ type CPU struct {
 
 	// scratch buffers reused across Step calls
 	waiting bool
+
+	// Host-time caches (see fastpath.go). Never architecturally visible.
+	iuTLB   microTLB // last instruction-fetch translation
+	duTLB   microTLB // last data translation
+	pd      []pdLine // predecoded instruction lines
+	pdLimit uint32   // predecode only below this physical address (0 = off)
 }
 
 // New creates a CPU in the post-reset state: kernel mode, exceptions off,
@@ -161,6 +167,8 @@ func (c *CPU) Reset() {
 	c.IP = 0
 	c.Halted = false
 	c.waiting = false
+	c.microInvalidate()
+	c.pdReset()
 }
 
 // Halt stops the processor (platform power-off).
@@ -200,12 +208,14 @@ const (
 )
 
 // translate maps a virtual address to physical. write selects the
-// store-permission check. Returns the physical address, a result code, and
-// whether the hardware performed a TLB lookup.
-func (c *CPU) translate(va uint32, write bool) (uint32, xlat, bool) {
+// store-permission check; mc is the translation micro-cache consulted in
+// front of the full TLB scan (the instruction-side or data-side entry).
+// Returns the physical address, a result code, and whether the hardware
+// performed a TLB lookup.
+func (c *CPU) translate(mc *microTLB, va uint32, write bool) (uint32, xlat, bool) {
 	switch {
 	case va < isa.KUSEGTop: // useg: TLB-mapped, accessible from both modes
-		return c.tlbLookup(va, write)
+		return c.tlbLookup(mc, va, write)
 	case va < isa.KSEG1Base: // kseg0
 		if c.UserMode() {
 			return 0, xlatAddrErr, false
@@ -220,14 +230,17 @@ func (c *CPU) translate(va uint32, write bool) (uint32, xlat, bool) {
 		if c.UserMode() {
 			return 0, xlatAddrErr, false
 		}
-		pa, r, _ := c.tlbLookup(va, write)
+		pa, r, _ := c.tlbLookup(mc, va, write)
 		return pa, r, true
 	}
 }
 
-func (c *CPU) tlbLookup(va uint32, write bool) (uint32, xlat, bool) {
+func (c *CPU) tlbLookup(mc *microTLB, va uint32, write bool) (uint32, xlat, bool) {
 	vpn := va >> isa.PageShift
 	asid := c.ASID()
+	if mc.ok && mc.vpn == vpn && mc.asid == asid && (!write || mc.dirty) {
+		return mc.pfn<<isa.PageShift | va&(isa.PageSize-1), xlatOK, true
+	}
 	for i := range c.TLB {
 		e := &c.TLB[i]
 		if !e.InUse || e.VPN != vpn || (!e.G && e.ASID != asid) {
@@ -239,14 +252,19 @@ func (c *CPU) tlbLookup(va uint32, write bool) (uint32, xlat, bool) {
 		if write && !e.D {
 			return 0, xlatMod, true
 		}
+		// Successful translations (and only those) seed the micro-cache;
+		// the cached D bit keeps the store-permission check exact.
+		*mc = microTLB{vpn: vpn, pfn: e.PFN, asid: asid, dirty: e.D, ok: true}
 		return e.PFN<<isa.PageShift | va&(isa.PageSize-1), xlatOK, true
 	}
 	return 0, xlatMiss, true
 }
 
-// ProbeTLB performs a lookup without permission checks; used by debug tools.
+// ProbeTLB performs a lookup without permission checks; used by debug tools
+// and the out-of-order core's wrong-path fetch. It shares the
+// instruction-side micro-entry: a probe is a fetch-path translation.
 func (c *CPU) ProbeTLB(va uint32) (uint32, bool) {
-	pa, r, _ := c.tlbLookup(va, false)
+	pa, r, _ := c.tlbLookup(&c.iuTLB, va, false)
 	if r == xlatOK {
 		return pa, true
 	}
@@ -324,7 +342,7 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 		c.raise(&info, isa.ExcAdEL, c.PC, false)
 		return info
 	}
-	ppc, xr, tlbed := c.translate(c.PC, false)
+	ppc, xr, tlbed := c.translate(&c.iuTLB, c.PC, false)
 	if tlbed {
 		info.TLBLookups++
 	}
@@ -342,8 +360,7 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 	}
 	info.PhysPC = ppc
 	info.Fetched = true
-	raw := uint32(c.bus.ReadPhys(ppc, 4))
-	in := isa.Decode(raw)
+	in := c.DecodeAt(ppc)
 	info.Inst = in
 	nextPC := c.PC + 4
 
@@ -595,6 +612,7 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 			v = f64bits(c.FPR[in.Rt])
 		}
 		c.bus.WritePhys(info.MemPaddr, int(info.MemSize), v)
+		c.pdInvalidateLine(info.MemPaddr)
 
 	case isa.OpSC:
 		if !c.dataAccess(&info, in, true) {
@@ -602,6 +620,7 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 		}
 		if c.llBit && c.llAddr == info.MemPaddr {
 			c.bus.WritePhys(info.MemPaddr, 4, uint64(g[in.Rt]))
+			c.pdInvalidateLine(info.MemPaddr)
 			g[in.Rt] = 1
 		} else {
 			g[in.Rt] = 0
@@ -617,7 +636,7 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 		va := g[in.Rs] + uint32(in.Imm)
 		info.CacheOp = true
 		info.CacheVaddr = va
-		pa, xr, tlbed := c.translate(va&^3, false)
+		pa, xr, tlbed := c.translate(&c.duTLB, va&^3, false)
 		if tlbed {
 			info.TLBLookups++
 		}
@@ -625,6 +644,7 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 		case xlatOK, xlatUncached:
 			info.CachePaddr = pa
 			info.CacheMapped = true
+			c.pdInvalidateLine(pa)
 		case xlatMiss:
 			c.raise(&info, isa.ExcTLBL, va, va < isa.KUSEGTop)
 			return info
@@ -665,7 +685,7 @@ func (c *CPU) dataAccess(info *StepInfo, in isa.Inst, write bool) bool {
 		c.raise(info, code, va, false)
 		return false
 	}
-	pa, xr, tlbed := c.translate(va, write)
+	pa, xr, tlbed := c.translate(&c.duTLB, va, write)
 	if tlbed {
 		info.TLBLookups++
 	}
@@ -708,6 +728,7 @@ func (c *CPU) dataAccess(info *StepInfo, in isa.Inst, write bool) bool {
 }
 
 func (c *CPU) tlbWrite(idx uint32) {
+	c.microInvalidate()
 	hi := c.COP0[isa.C0EntryHi]
 	lo := c.COP0[isa.C0EntryLo]
 	c.TLB[idx] = TLBEntry{

@@ -1,0 +1,131 @@
+package arch
+
+// Hot-path acceleration structures: a predecoded instruction cache and
+// one-entry translation micro-caches. Both are pure host-time caches over
+// architectural state — they change how fast the simulator reaches an
+// answer, never the answer itself. The invariance contract (DESIGN.md §9)
+// is that every architected count (TLB lookups, cache accesses, cycles,
+// per-mode buckets) is produced exactly as without them; the golden tests
+// at the repository root enforce this byte-for-byte.
+
+import "softwatt/internal/isa"
+
+// Predecode cache geometry. Lines match the L1 I-cache line (64 B = 16
+// instructions); the array is direct-mapped with an XOR-folded index so
+// kernel text (low physical memory) and user images (staged at fixed
+// higher bases) do not alias each other.
+const (
+	pdLineShift = 6
+	pdLineSize  = 1 << pdLineShift
+	pdLineWords = pdLineSize / 4
+	pdLineCount = 8192 // 512 KB of code coverage, ~3 MB of host memory
+)
+
+// pdLine is one predecoded line: the decoded form of 16 consecutive
+// instruction words at a physical line address.
+type pdLine struct {
+	base  uint32
+	valid bool
+	inst  [pdLineWords]isa.Inst
+}
+
+func pdIndex(base uint32) uint32 {
+	l := base >> pdLineShift
+	return (l ^ l>>13) & (pdLineCount - 1)
+}
+
+// EnablePredecode switches on the predecoded instruction cache for
+// physical addresses below limit. The caller must pick limit so that every
+// byte below it is side-effect-free RAM (in particular, below any MMIO
+// window): a predecode line fill reads the whole 64-byte line. With the
+// cache off (the default, and always for paddr >= limit), every fetch
+// decodes from the bus exactly as the unoptimized simulator did.
+func (c *CPU) EnablePredecode(limit uint32) {
+	c.pdLimit = limit
+	if limit > 0 && c.pd == nil {
+		c.pd = make([]pdLine, pdLineCount)
+	}
+}
+
+// DecodeAt returns the decoded instruction at physical address paddr,
+// filling (or hitting) the predecode cache when paddr is in the covered
+// window. Used for both real fetches and wrong-path (speculative) fetches:
+// the decoded form of a RAM word is the same either way.
+func (c *CPU) DecodeAt(paddr uint32) isa.Inst {
+	if paddr >= c.pdLimit {
+		return isa.Decode(uint32(c.bus.ReadPhys(paddr, 4)))
+	}
+	base := paddr &^ (pdLineSize - 1)
+	ln := &c.pd[pdIndex(base)]
+	if !ln.valid || ln.base != base {
+		for i := range ln.inst {
+			ln.inst[i] = isa.Decode(uint32(c.bus.ReadPhys(base+uint32(i)*4, 4)))
+		}
+		ln.base = base
+		ln.valid = true
+	}
+	return ln.inst[paddr>>2&(pdLineWords-1)]
+}
+
+// pdInvalidateLine drops the predecoded line containing paddr, if cached.
+// Called on every store the CPU executes (stores are aligned and never
+// cross a 64-byte line) and on the CACHE maintenance op, so self-modifying
+// code — the kernel's cacheflush service path — refetches fresh decodes.
+func (c *CPU) pdInvalidateLine(paddr uint32) {
+	if paddr >= c.pdLimit {
+		return
+	}
+	base := paddr &^ (pdLineSize - 1)
+	ln := &c.pd[pdIndex(base)]
+	if ln.valid && ln.base == base {
+		ln.valid = false
+	}
+}
+
+// InvalidatePredecode drops every predecoded line overlapping
+// [paddr, paddr+n). The machine calls this for writes that bypass the CPU
+// core — disk DMA into physical memory.
+func (c *CPU) InvalidatePredecode(paddr uint32, n int) {
+	if c.pdLimit == 0 || n <= 0 {
+		return
+	}
+	first := paddr &^ (pdLineSize - 1)
+	last := (paddr + uint32(n) - 1) &^ (pdLineSize - 1)
+	for base := first; ; base += pdLineSize {
+		ln := &c.pd[pdIndex(base)]
+		if ln.valid && ln.base == base {
+			ln.valid = false
+		}
+		if base == last {
+			return
+		}
+	}
+}
+
+// pdReset empties the predecode cache (CPU reset).
+func (c *CPU) pdReset() {
+	for i := range c.pd {
+		c.pd[i].valid = false
+	}
+}
+
+// microTLB is a one-entry translation cache in front of the 64-entry
+// fully-associative TLB scan. It caches only successful translations keyed
+// by (VPN, ASID): a write hit additionally requires the cached D bit, so
+// TLBMod behaviour is untouched; an ASID switch simply stops hitting; and
+// any TLB write invalidates it. A micro-cache hit reports the same single
+// hardware TLB lookup the full scan would have — the TLB access counts
+// feeding the power model are architectural events and must not change.
+type microTLB struct {
+	vpn   uint32
+	pfn   uint32
+	asid  uint8
+	dirty bool
+	ok    bool
+}
+
+// microInvalidate drops both translation micro-entries (TLB write, reset).
+func (c *CPU) microInvalidate() {
+	c.iuTLB.ok = false
+	c.duTLB.ok = false
+}

@@ -1,0 +1,170 @@
+package arch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"softwatt/internal/isa"
+)
+
+// Tests for the host-time caches in fastpath.go: the invariance contract
+// says they must be transparent, so every test drives a scenario where a
+// stale cache entry would change architected behaviour and asserts that it
+// does not.
+
+// encodeInst assembles a single instruction and returns its machine word.
+func encodeInst(t *testing.T, asm string) uint32 {
+	t.Helper()
+	p, err := isa.Assemble(".org 0x0\n" + asm + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return binary.LittleEndian.Uint32(p.Segments[0].Data)
+}
+
+// runPD is run() with the predecode cache enabled over the whole test RAM.
+func runPD(t *testing.T, src string, maxSteps int) (*CPU, *ramBus) {
+	t.Helper()
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := newRAM()
+	bus.load(p)
+	c := New(bus)
+	c.EnablePredecode(uint32(len(bus.mem)))
+	for i := 0; i < maxSteps; i++ {
+		info := c.Step(uint64(i))
+		if info.TookException && info.ExcCode == isa.ExcBreak {
+			return c, bus
+		}
+		if info.TookException && info.ExcCode == isa.ExcRI {
+			t.Fatalf("reserved instruction at pc=%08x", info.PC)
+		}
+	}
+	t.Fatalf("program did not reach break in %d steps; %s", maxSteps, c)
+	return nil, nil
+}
+
+// A store into an already-predecoded line must invalidate it: the patched
+// instruction, in the same 64-byte line as the code that patches it, has
+// been predecoded by the time the store executes, so a stale line would
+// execute the original "ori v0, zero, 1".
+func TestPredecodeSelfModifyingCode(t *testing.T) {
+	newWord := encodeInst(t, "ori v0, zero, 99")
+	c, _ := runPD(t, fmt.Sprintf(`
+        .org 0x80020000
+        la   t0, patch
+        la   t1, newinst
+        lw   t2, 0(t1)
+        sw   t2, 0(t0)
+patch:
+        ori  v0, zero, 1
+        break
+        .align 4
+newinst: .word 0x%08x
+`, newWord), 100)
+	if c.GPR[isa.RegV0] != 99 {
+		t.Fatalf("v0 = %d, want 99: store did not invalidate the predecoded line", c.GPR[isa.RegV0])
+	}
+}
+
+// InvalidatePredecode covers writes that bypass the CPU store path (DMA).
+func TestPredecodeDMAInvalidate(t *testing.T) {
+	bus := newRAM()
+	c := New(bus)
+	c.EnablePredecode(uint32(len(bus.mem)))
+
+	const pa = 0x40000
+	w1 := encodeInst(t, "ori v0, zero, 1")
+	w2 := encodeInst(t, "ori v0, zero, 99")
+	bus.WritePhys(pa, 4, uint64(w1))
+	in := c.DecodeAt(pa)
+	if in.Imm != 1 {
+		t.Fatalf("initial decode imm = %d, want 1", in.Imm)
+	}
+
+	// A bare bus write simulates DMA: the predecoded line must go stale
+	// (this is exactly why the machine calls InvalidatePredecode after DMA).
+	bus.WritePhys(pa, 4, uint64(w2))
+	if in := c.DecodeAt(pa); in.Imm != 1 {
+		t.Fatalf("decode after raw write imm = %d; predecode cache is not active", in.Imm)
+	}
+	c.InvalidatePredecode(pa, 4)
+	if in := c.DecodeAt(pa); in.Imm != 99 {
+		t.Fatalf("decode after InvalidatePredecode imm = %d, want 99", in.Imm)
+	}
+}
+
+// tlbSet writes one TLB entry through the architectural path (the same code
+// TLBWI/TLBWR execute), which must drop the translation micro-caches.
+func tlbSet(c *CPU, idx, vpn, pfn uint32, asid uint8, d bool) {
+	c.COP0[isa.C0EntryHi] = vpn<<isa.PageShift | uint32(asid)
+	c.COP0[isa.C0EntryLo] = PackEntryLo(pfn, true, d, false)
+	c.tlbWrite(idx)
+}
+
+// A TLB write over a micro-cached translation must take effect on the very
+// next access.
+func TestMicroTLBInvalidatedByTLBWrite(t *testing.T) {
+	c := New(newRAM())
+	const va = 0x00004000
+	tlbSet(c, 0, va>>isa.PageShift, 0xAA, 1, true)
+	c.COP0[isa.C0EntryHi] = 1 // run under ASID 1
+
+	pa, r, tlbed := c.translate(&c.duTLB, va, false)
+	if r != xlatOK || !tlbed || pa != 0xAA<<isa.PageShift {
+		t.Fatalf("first translate: pa=%#x r=%d tlbed=%v", pa, r, tlbed)
+	}
+	if !c.duTLB.ok {
+		t.Fatal("micro-TLB not seeded by successful lookup")
+	}
+
+	// Remap the same VPN to a different frame (TLBWI path).
+	tlbSet(c, 0, va>>isa.PageShift, 0xBB, 1, true)
+	c.COP0[isa.C0EntryHi] = 1
+	if c.duTLB.ok || c.iuTLB.ok {
+		t.Fatal("TLB write did not invalidate the micro-caches")
+	}
+	if pa, _, _ := c.translate(&c.duTLB, va, false); pa != 0xBB<<isa.PageShift {
+		t.Fatalf("translate after remap: pa=%#x, want %#x", pa, 0xBB<<isa.PageShift)
+	}
+}
+
+// An ASID switch must stop micro-cache hits without any explicit
+// invalidation: the entry is keyed by (VPN, ASID).
+func TestMicroTLBASIDSwitch(t *testing.T) {
+	c := New(newRAM())
+	const va = 0x00008000
+	tlbSet(c, 0, va>>isa.PageShift, 0xAA, 1, true)
+	tlbSet(c, 1, va>>isa.PageShift, 0xBB, 2, true)
+
+	c.COP0[isa.C0EntryHi] = 1
+	if pa, _, _ := c.translate(&c.duTLB, va, false); pa != 0xAA<<isa.PageShift {
+		t.Fatalf("ASID 1: pa=%#x, want %#x", pa, 0xAA<<isa.PageShift)
+	}
+	c.COP0[isa.C0EntryHi] = 2 // context switch: same VPN, different space
+	if pa, _, _ := c.translate(&c.duTLB, va, false); pa != 0xBB<<isa.PageShift {
+		t.Fatalf("ASID 2: pa=%#x, want %#x", pa, 0xBB<<isa.PageShift)
+	}
+}
+
+// A read hit must not let a later store bypass the dirty-bit check: the
+// micro-entry caches D, and a store to a clean page still reports TLBMod.
+func TestMicroTLBCleanPageStore(t *testing.T) {
+	c := New(newRAM())
+	const va = 0x0000C000
+	tlbSet(c, 0, va>>isa.PageShift, 0xCC, 1, false) // D=0: write-protected
+	c.COP0[isa.C0EntryHi] = 1
+
+	if _, r, _ := c.translate(&c.duTLB, va, false); r != xlatOK {
+		t.Fatalf("read translate: r=%d, want xlatOK", r)
+	}
+	if !c.duTLB.ok {
+		t.Fatal("micro-TLB not seeded")
+	}
+	if _, r, _ := c.translate(&c.duTLB, va, true); r != xlatMod {
+		t.Fatalf("store to clean page: r=%d, want xlatMod", r)
+	}
+}

@@ -31,6 +31,11 @@ type Core struct {
 
 	busy int // stall cycles remaining before the next instruction
 
+	// scratch holds the current instruction's StepInfo. Kept on the Core so
+	// passing its address to the commit callback does not force a heap
+	// allocation per instruction (a stack-local would escape).
+	scratch arch.StepInfo
+
 	// Committed counts all architecturally executed instructions.
 	Committed uint64
 }
@@ -46,32 +51,38 @@ func (c *Core) CPU() *arch.CPU { return c.cpu }
 
 // Tick advances the pipeline by one cycle, invoking commit when an
 // instruction completes architecturally this cycle.
+//
+// All structure-access counts of one instruction accumulate into a local
+// UnitCounts and flush with a single Collector.AddUnits call just before
+// commit. The attribution context cannot change mid-instruction (commit is
+// what moves it), so the batch lands in exactly the buckets the individual
+// AddUnit calls used to.
 func (c *Core) Tick(cycle uint64, commit func(*arch.StepInfo)) {
 	if c.busy > 0 {
 		c.busy--
 		return
 	}
-	info := c.cpu.Step(cycle)
+	c.scratch = c.cpu.Step(cycle)
+	info := &c.scratch
 	if info.Halted {
-		commit(&info)
+		commit(info)
 		return
 	}
 	if info.Waiting {
 		// WAIT state: the core is clock-gated; no fetch, no activity.
-		commit(&info)
+		commit(info)
 		return
 	}
 	c.Committed++
 	c.col.AddInst(1)
 	cost := 1
+	var u trace.UnitCounts
 
 	// Instruction fetch (interrupt delivery and fetch faults read nothing).
-	if info.TLBLookups > 0 {
-		c.col.AddUnit(trace.UnitTLB, uint64(info.TLBLookups))
-	}
+	u[trace.UnitTLB] += uint64(info.TLBLookups)
 	if info.Fetched {
 		lat, acc := c.h.IFetch(info.PhysPC)
-		c.countMem(acc)
+		countMemInto(&u, acc)
 		cost += lat - 1
 	}
 
@@ -79,7 +90,8 @@ func (c *Core) Tick(cycle uint64, commit func(*arch.StepInfo)) {
 		// The faulting instruction did not execute; charge the pipeline
 		// drain and the refetch from the vector (R4000-like trap cost).
 		c.busy = cost + excFlushCycles - 1
-		commit(&info)
+		c.col.AddUnits(&u)
+		commit(info)
 		return
 	}
 
@@ -88,26 +100,24 @@ func (c *Core) Tick(cycle uint64, commit func(*arch.StepInfo)) {
 
 	// Register file traffic.
 	var deps [4]uint8
-	if n := len(in.Uses(deps[:0])); n > 0 {
-		c.col.AddUnit(trace.UnitRegRead, uint64(n))
-	}
-	if n := len(in.Defs(deps[:0])); n > 0 {
-		c.col.AddUnit(trace.UnitRegWrite, uint64(n))
-		c.col.AddUnit(trace.UnitResultBus, uint64(n))
+	u[trace.UnitRegRead] += uint64(len(in.Uses(deps[:0])))
+	if n := uint64(len(in.Defs(deps[:0]))); n > 0 {
+		u[trace.UnitRegWrite] += n
+		u[trace.UnitResultBus] += n
 	}
 
 	// Execution unit.
 	switch inf.Class {
 	case isa.ClassALU, isa.ClassShift, isa.ClassBranch, isa.ClassJump:
-		c.col.AddUnit(trace.UnitALU, 1)
+		u[trace.UnitALU]++
 	case isa.ClassMul, isa.ClassDiv:
-		c.col.AddUnit(trace.UnitMul, 1)
+		u[trace.UnitMul]++
 		cost += inf.Latency - 1
 	case isa.ClassFP, isa.ClassFPDiv:
-		c.col.AddUnit(trace.UnitFPU, 1)
+		u[trace.UnitFPU]++
 		cost += inf.Latency - 1
 	case isa.ClassLoad, isa.ClassStore:
-		c.col.AddUnit(trace.UnitALU, 1) // address generation
+		u[trace.UnitALU]++ // address generation
 	}
 
 	// Data memory.
@@ -117,7 +127,7 @@ func (c *Core) Tick(cycle uint64, commit func(*arch.StepInfo)) {
 			cost += ulat
 		} else {
 			dlat, dacc := c.h.Data(info.MemPaddr, info.Mem == arch.MemStore)
-			c.countMem(dacc)
+			countMemInto(&u, dacc)
 			cost += dlat - 1
 		}
 	}
@@ -125,7 +135,7 @@ func (c *Core) Tick(cycle uint64, commit func(*arch.StepInfo)) {
 	// Cache maintenance.
 	if info.CacheOp && info.CacheMapped {
 		flat, facc := c.h.FlushLine(info.CachePaddr)
-		c.countMem(facc)
+		countMemInto(&u, facc)
 		cost += flat - 1
 	}
 
@@ -140,20 +150,15 @@ func (c *Core) Tick(cycle uint64, commit func(*arch.StepInfo)) {
 	}
 
 	c.busy = cost - 1
-	commit(&info)
+	c.col.AddUnits(&u)
+	commit(info)
 }
 
-func (c *Core) countMem(acc mem.Accesses) {
-	if acc.L1I > 0 {
-		c.col.AddUnit(trace.UnitL1I, uint64(acc.L1I))
-	}
-	if acc.L1D > 0 {
-		c.col.AddUnit(trace.UnitL1D, uint64(acc.L1D))
-	}
-	if acc.L2 > 0 {
-		c.col.AddUnit(trace.UnitL2, uint64(acc.L2))
-	}
-	if acc.Mem > 0 {
-		c.col.AddUnit(trace.UnitMem, uint64(acc.Mem))
-	}
+// countMemInto folds one memory operation's structure accesses into the
+// tick-local count vector (adding zero is free; no branches needed).
+func countMemInto(u *trace.UnitCounts, acc mem.Accesses) {
+	u[trace.UnitL1I] += uint64(acc.L1I)
+	u[trace.UnitL1D] += uint64(acc.L1D)
+	u[trace.UnitL2] += uint64(acc.L2)
+	u[trace.UnitMem] += uint64(acc.Mem)
 }

@@ -146,6 +146,18 @@ type Core struct {
 	Bogus       uint64 // wrong-path instructions fetched
 	Mispredicts uint64
 	Flushes     uint64 // serializing/exception flushes
+
+	// pend batches this tick's structure-access counts; it flushes to the
+	// collector before every commit (commit can move the attribution
+	// context) and at the end of the tick, so every count lands in the
+	// same bucket an immediate AddUnit would have used.
+	pend      trace.UnitCounts
+	pendDirty bool
+
+	// scratch holds the most recent Step's StepInfo. Kept on the Core so
+	// passing its address to the commit callback does not force a heap
+	// allocation per fetched instruction (a stack-local would escape).
+	scratch arch.StepInfo
 }
 
 // New creates an MXS core. bus is the physical address space used for
@@ -185,6 +197,23 @@ func (c *Core) Tick(cycle uint64, commit func(*arch.StepInfo)) {
 	c.commitStage(cycle, commit)
 	c.issue(cycle)
 	c.fetch(cycle, commit)
+	c.flushUnits()
+}
+
+// addUnit batches one structure access into the tick-local vector.
+func (c *Core) addUnit(u trace.Unit, n uint64) {
+	c.pend[u] += n
+	c.pendDirty = true
+}
+
+// flushUnits hands the batched counts to the collector in the current
+// attribution context. Must run before any commit call.
+func (c *Core) flushUnits() {
+	if c.pendDirty {
+		c.col.AddUnits(&c.pend)
+		c.pend = trace.UnitCounts{}
+		c.pendDirty = false
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -199,8 +228,8 @@ func (c *Core) writeback(cycle uint64) {
 		}
 		e.state = stDone
 		if e.real && e.nDefs > 0 {
-			c.col.AddUnit(trace.UnitRegWrite, uint64(e.nDefs))
-			c.col.AddUnit(trace.UnitResultBus, uint64(e.nDefs))
+			c.addUnit(trace.UnitRegWrite, uint64(e.nDefs))
+			c.addUnit(trace.UnitResultBus, uint64(e.nDefs))
 		}
 		// Branch/jump resolution: redirect as soon as the target is known.
 		if e.real && !e.info.TookException {
@@ -235,11 +264,11 @@ func (c *Core) commitStage(cycle uint64, commit func(*arch.StepInfo)) {
 		if e.isStore && e.info.Mem == arch.MemStore && !e.info.MemUncached {
 			_, acc := c.h.Data(e.info.MemPaddr, true)
 			c.countMem(acc)
-			c.col.AddUnit(trace.UnitLSQ, 1)
+			c.addUnit(trace.UnitLSQ, 1)
 		}
 		// Predictor training.
 		if e.inst.IsBranch() {
-			c.col.AddUnit(trace.UnitBpred, 1)
+			c.addUnit(trace.UnitBpred, 1)
 			c.trainBranch(e.pc, e.info.BranchTaken)
 		} else if e.inst.Op == isa.OpJR || e.inst.Op == isa.OpJALR {
 			c.trainBTB(e.pc, e.info.NextPC)
@@ -248,6 +277,7 @@ func (c *Core) commitStage(cycle uint64, commit func(*arch.StepInfo)) {
 			c.Committed++
 			c.col.AddInst(1)
 		}
+		c.flushUnits() // commit may move the attribution context
 		commit(&e.info)
 		if isSerial(e) {
 			c.serialInFlight--
@@ -355,9 +385,9 @@ func (c *Core) issue(cycle uint64) {
 		issued++
 		e.state = stIssued
 		if e.real {
-			c.col.AddUnit(trace.UnitWindow, 1) // wakeup + select
+			c.addUnit(trace.UnitWindow, 1) // wakeup + select
 			if e.nUses > 0 {
-				c.col.AddUnit(trace.UnitRegRead, uint64(e.nUses))
+				c.addUnit(trace.UnitRegRead, uint64(e.nUses))
 			}
 		}
 
@@ -365,12 +395,12 @@ func (c *Core) issue(cycle uint64) {
 		case e.isMem && e.isStore:
 			// Address generation; the cache write happens at commit.
 			if e.real {
-				c.col.AddUnit(trace.UnitLSQ, 1)
+				c.addUnit(trace.UnitLSQ, 1)
 			}
 			e.doneAt = cycle + 1
 		case e.isMem:
 			if e.real {
-				c.col.AddUnit(trace.UnitLSQ, 1)
+				c.addUnit(trace.UnitLSQ, 1)
 			}
 			if !e.real {
 				e.doneAt = cycle + 1 // wrong-path load: no data access
@@ -405,7 +435,7 @@ func (c *Core) forwardedFromStore(idx int, paddr uint32) bool {
 		e := c.at(i)
 		if e.isStore && e.real && e.info.Mem == arch.MemStore &&
 			e.info.MemPaddr>>2 == paddr>>2 {
-			c.col.AddUnit(trace.UnitLSQ, 1) // forwarding search hit
+			c.addUnit(trace.UnitLSQ, 1) // forwarding search hit
 			return true
 		}
 	}
@@ -421,8 +451,13 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 		if c.count > 0 {
 			return // drain before sleeping
 		}
-		info := c.cpu.Step(cycle)
-		commit(&info)
+		// Step can move the attribution context (an MMIO store inside the
+		// instruction); flush the batch under the context its counts accrued
+		// in, exactly as the unbatched AddUnit calls did.
+		c.flushUnits()
+		c.scratch = c.cpu.Step(cycle)
+		info := &c.scratch
+		commit(info)
 		if info.Halted {
 			c.halted = true
 			return
@@ -448,9 +483,11 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 		e.issueAt = cycle + uint64(c.cfg.FrontDepth)
 
 		if real {
-			info := c.cpu.Step(cycle)
+			c.flushUnits() // Step may move the attribution context (MMIO store)
+			c.scratch = c.cpu.Step(cycle)
+			info := &c.scratch
 			if info.Halted {
-				commit(&info)
+				commit(info)
 				c.halted = true
 				return
 			}
@@ -458,10 +495,10 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 				c.sleep = true
 			}
 			e.real = true
-			e.info = info
+			e.info = *info
 			e.inst = info.Inst
 			if info.TLBLookups > 0 {
-				c.col.AddUnit(trace.UnitTLB, uint64(info.TLBLookups))
+				c.addUnit(trace.UnitTLB, uint64(info.TLBLookups))
 			}
 			if info.Fetched {
 				ilat, acc := c.h.IFetch(info.PhysPC)
@@ -483,12 +520,11 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 			if ilat > 1 {
 				e.issueAt += uint64(ilat - 1)
 			}
-			raw := uint32(c.readMemWord(paddr))
-			e.inst = isa.Decode(raw)
+			e.inst = c.decodeWrongPath(paddr)
 		}
 
 		if e.real {
-			c.col.AddUnit(trace.UnitRename, 1)
+			c.addUnit(trace.UnitRename, 1)
 		}
 		e.nUses = len(e.inst.Uses(e.uses[:0]))
 		e.nDefs = len(e.inst.Defs(e.defs[:0]))
@@ -550,7 +586,7 @@ func (c *Core) predictNext(pc uint32, in isa.Inst, real bool, info *arch.StepInf
 	switch in.Info().Class {
 	case isa.ClassBranch:
 		if real {
-			c.col.AddUnit(trace.UnitBpred, 1)
+			c.addUnit(trace.UnitBpred, 1)
 		}
 		if c.bht[(pc>>2)%uint32(c.cfg.BHTSize)] >= 2 {
 			return isa.BranchTarget(pc, in.Imm)
@@ -558,7 +594,7 @@ func (c *Core) predictNext(pc uint32, in isa.Inst, real bool, info *arch.StepInf
 		return pc + 4
 	case isa.ClassJump:
 		if real {
-			c.col.AddUnit(trace.UnitBpred, 1)
+			c.addUnit(trace.UnitBpred, 1)
 		}
 		switch in.Op {
 		case isa.OpJ:
@@ -623,18 +659,21 @@ func (c *Core) translateFetch(pc uint32) (uint32, bool) {
 	case pc >= isa.KSEG1Base && pc < isa.KSEG2Base:
 		return 0, false // never fetch from uncached space speculatively
 	default:
-		c.col.AddUnit(trace.UnitTLB, 1)
+		c.addUnit(trace.UnitTLB, 1)
 		return c.cpu.ProbeTLB(pc &^ 3)
 	}
 }
 
-// readMemWord reads instruction bytes for wrong-path decode. The MMIO
-// region is never executable, so this has no device side effects.
-func (c *Core) readMemWord(paddr uint32) uint64 {
+// decodeWrongPath decodes instruction bytes for wrong-path fetch. When the
+// core fetches from the same bus the functional CPU sees (the normal
+// machine wiring), it shares the CPU's predecode cache — a wrong-path line
+// decodes once, not once per speculative fetch. The MMIO region is never
+// executable, so this has no device side effects.
+func (c *Core) decodeWrongPath(paddr uint32) isa.Inst {
 	if c.bus == nil {
-		return 0
+		return isa.Decode(0)
 	}
-	return c.bus.ReadPhys(paddr, 4)
+	return c.cpu.DecodeAt(paddr)
 }
 
 // isSerial reports whether a real entry serializes the pipeline.
@@ -648,22 +687,22 @@ func isSerial(e *robEnt) bool {
 // values never switch it meaningfully in this tag-only model.
 func (c *Core) countFU(e *robEnt, u trace.Unit) {
 	if e.real {
-		c.col.AddUnit(u, 1)
+		c.addUnit(u, 1)
 	}
 }
 
 func (c *Core) countMem(acc mem.Accesses) {
 	if acc.L1I > 0 {
-		c.col.AddUnit(trace.UnitL1I, uint64(acc.L1I))
+		c.addUnit(trace.UnitL1I, uint64(acc.L1I))
 	}
 	if acc.L1D > 0 {
-		c.col.AddUnit(trace.UnitL1D, uint64(acc.L1D))
+		c.addUnit(trace.UnitL1D, uint64(acc.L1D))
 	}
 	if acc.L2 > 0 {
-		c.col.AddUnit(trace.UnitL2, uint64(acc.L2))
+		c.addUnit(trace.UnitL2, uint64(acc.L2))
 	}
 	if acc.Mem > 0 {
-		c.col.AddUnit(trace.UnitMem, uint64(acc.Mem))
+		c.addUnit(trace.UnitMem, uint64(acc.Mem))
 	}
 }
 

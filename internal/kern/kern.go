@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"softwatt/internal/isa"
 )
@@ -20,8 +21,24 @@ type Image struct {
 	SyncEnd   uint32
 }
 
-// Build assembles the kernel.
+var buildCache struct {
+	once sync.Once
+	img  *Image
+	err  error
+}
+
+// Build assembles the kernel. The kernel source is a compile-time constant,
+// so the result is assembled once and shared: callers (and every machine
+// built from it) must treat the Image as read-only, which they already do —
+// the machine copies segment bytes into its own RAM at load.
 func Build() (*Image, error) {
+	buildCache.once.Do(func() {
+		buildCache.img, buildCache.err = buildImage()
+	})
+	return buildCache.img, buildCache.err
+}
+
+func buildImage() (*Image, error) {
 	p, err := isa.Assemble(Source())
 	if err != nil {
 		return nil, fmt.Errorf("kern: assembling kernel: %w", err)

@@ -105,8 +105,12 @@ type Machine struct {
 	console   bytes.Buffer
 	intValues []uint32 // SimPutInt debug stream
 
-	curPid    uint32
-	svcStacks map[uint32][]trace.Svc
+	curPid uint32
+	// Per-process kernel-service stacks. curStk caches the current pid's
+	// stack so the per-commit attribution path never touches the map; it is
+	// refreshed only when the kernel announces a context switch (SimCurPid).
+	curStk    *svcStack
+	svcStacks map[uint32]*svcStack
 
 	// latched disk controller registers
 	dcSector, dcCount, dcDMA uint32
@@ -133,12 +137,14 @@ func New(cfg Config, w Workload) (*Machine, error) {
 		cfg.ClockHz = 200e6
 	}
 	cfg.Disk.ClockHz = cfg.ClockHz
+	stk0 := &svcStack{}
 	m := &Machine{
 		cfg:       cfg,
 		ram:       mem.NewRAM(cfg.RAMBytes),
 		hier:      mem.NewHierarchy(cfg.Hier),
 		col:       trace.NewCollector(cfg.WindowCycles),
-		svcStacks: map[uint32][]trace.Svc{0: {}},
+		curStk:    stk0,
+		svcStacks: map[uint32]*svcStack{0: stk0},
 	}
 	m.dsk = disk.New(cfg.Disk, m.diskComplete)
 
@@ -194,6 +200,13 @@ func New(cfg Config, w Workload) (*Machine, error) {
 	}
 
 	m.cpu = arch.New(m)
+	// Predecode covers all of RAM below the MMIO window: a line fill reads
+	// 64 bytes, and only RAM reads are side-effect-free.
+	pdLimit := uint32(kern.MMIOBase)
+	if uint64(cfg.RAMBytes) < uint64(kern.MMIOBase) {
+		pdLimit = uint32(cfg.RAMBytes)
+	}
+	m.cpu.EnablePredecode(pdLimit)
 	switch cfg.Core {
 	case CoreMipsy:
 		m.core = mipsy.New(m.cpu, m.hier, m.col)
@@ -269,6 +282,11 @@ func (m *Machine) Halted() bool { return m.halted }
 // Cycle returns the current cycle.
 func (m *Machine) Cycle() uint64 { return m.cycle }
 
+// Release returns the machine's physical memory to the allocator pool.
+// Call only once all results have been collected; the machine (and any
+// slice of its RAM) must not be used afterwards.
+func (m *Machine) Release() { m.ram.Release() }
+
 // Run simulates until the workload halts the machine or maxCycles elapse
 // (0 = use the config's MaxCycles).
 func (m *Machine) Run(maxCycles uint64) error {
@@ -289,7 +307,7 @@ func (m *Machine) Run(maxCycles uint64) error {
 		}
 
 		m.core.Tick(m.cycle, m.commit)
-		m.col.AddCycles(1)
+		m.col.AddCycle()
 		m.cycle++
 	}
 	if !m.halted {
@@ -359,7 +377,7 @@ func (m *Machine) attribute(info *arch.StepInfo) {
 		if !info.KernelMode {
 			// A user-mode fault implies no kernel service can be active
 			// for this process; fold any leftovers defensively.
-			for len(m.svcStacks[m.curPid]) > 0 {
+			for len(m.curStk.s) > 0 {
 				m.popSvc()
 			}
 		}
@@ -371,35 +389,37 @@ func (m *Machine) attribute(info *arch.StepInfo) {
 	m.refreshContext(info.KernelMode, info.PC)
 }
 
-func (m *Machine) stack() []trace.Svc { return m.svcStacks[m.curPid] }
+// svcStack is one process's kernel-service invocation stack. Boxed so the
+// hot path can hold a stable pointer across map growth.
+type svcStack struct{ s []trace.Svc }
 
 func (m *Machine) pushSvc(s trace.Svc) {
-	m.svcStacks[m.curPid] = append(m.svcStacks[m.curPid], s)
+	m.curStk.s = append(m.curStk.s, s)
 	m.col.BeginInvocation(s)
 }
 
 func (m *Machine) popSvc() {
-	st := m.svcStacks[m.curPid]
+	st := m.curStk.s
 	if len(st) == 0 {
 		return
 	}
 	s := st[len(st)-1]
-	m.svcStacks[m.curPid] = st[:len(st)-1]
+	m.curStk.s = st[:len(st)-1]
 	m.col.EndInvocation(s)
 }
 
 func (m *Machine) abortSvc() {
-	st := m.svcStacks[m.curPid]
+	st := m.curStk.s
 	if len(st) == 0 {
 		return
 	}
 	s := st[len(st)-1]
-	m.svcStacks[m.curPid] = st[:len(st)-1]
+	m.curStk.s = st[:len(st)-1]
 	m.col.AbortInvocation(s)
 }
 
 func (m *Machine) topSvc() trace.Svc {
-	st := m.svcStacks[m.curPid]
+	st := m.curStk.s
 	if len(st) == 0 {
 		return trace.SvcNone
 	}
@@ -472,9 +492,12 @@ func (m *Machine) mmioWrite(pa, v uint32) {
 		m.cpu.Halt()
 	case kern.SimCurPid:
 		m.curPid = v
-		if _, ok := m.svcStacks[v]; !ok {
-			m.svcStacks[v] = []trace.Svc{}
+		stk, ok := m.svcStacks[v]
+		if !ok {
+			stk = &svcStack{}
+			m.svcStacks[v] = stk
 		}
+		m.curStk = stk
 	case kern.SimSvcPush:
 		if v < uint32(trace.NumSvc) {
 			m.pushSvc(trace.Svc(v))
@@ -484,7 +507,7 @@ func (m *Machine) mmioWrite(pa, v uint32) {
 		m.popSvc()
 		m.refreshContext(true, m.cpu.PC)
 	case kern.SimSvcRecls:
-		st := m.svcStacks[m.curPid]
+		st := m.curStk.s
 		if len(st) > 0 && v < uint32(trace.NumSvc) {
 			st[len(st)-1] = trace.Svc(v)
 			m.refreshContext(true, m.cpu.PC)
@@ -541,6 +564,10 @@ func (m *Machine) diskComplete(req disk.Request) {
 		m.dsk.Write(req.Sector, m.ram.Bytes()[req.DMAAddr:int(req.DMAAddr)+n])
 	} else {
 		m.dsk.Read(req.Sector, m.ram.Bytes()[req.DMAAddr:int(req.DMAAddr)+n])
+		// DMA writes RAM behind the CPU's back; drop any predecoded code
+		// in the landing zone and record the dirtied pages.
+		m.cpu.InvalidatePredecode(req.DMAAddr, n)
+		m.ram.MarkDirty(req.DMAAddr, n)
 	}
 	m.cpu.SetIRQ(isa.IntDisk, true)
 }

@@ -53,6 +53,7 @@ type Cache struct {
 	lines      []line // sets * assoc, way-major within a set
 	setShift   uint
 	setMask    uint32
+	tagShift   uint // line-offset bits + index bits, precomputed once
 	tick       uint64
 	Hits       uint64
 	Misses     uint64
@@ -71,6 +72,7 @@ func NewCache(cfg CacheConfig) *Cache {
 	}
 	c.setShift = sh
 	c.setMask = uint32(cfg.Sets() - 1)
+	c.tagShift = sh + uint(log2(cfg.Sets()))
 	return c
 }
 
@@ -83,7 +85,7 @@ func (c *Cache) set(paddr uint32) []line {
 }
 
 func (c *Cache) tag(paddr uint32) uint32 {
-	return paddr >> c.setShift >> uint(log2(c.cfg.Sets()))
+	return paddr >> c.tagShift
 }
 
 // Access looks up paddr, allocating on a miss (write-allocate). It returns

@@ -1,21 +1,121 @@
 package mem
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// Dirty-page tracking granularity. Every path that writes RAM marks the
+// touched 4 KB pages; a released buffer is recycled by re-zeroing only the
+// dirty pages, which is far cheaper than clearing (or faulting in) a fresh
+// 128 MB allocation per simulation in batch sweeps.
+const (
+	ramPageShift = 12
+	ramPageSize  = 1 << ramPageShift
+)
 
 // RAM is the flat little-endian physical memory. It implements the data
 // side of arch.Bus; the machine wraps it with MMIO dispatch for device
 // addresses.
 type RAM struct {
 	data []byte
+	// dirty has one bit per 4 KB page, set by every write path (Write,
+	// LoadSegment, and DMA via MarkDirty). Only used to scrub recycled
+	// buffers; never consulted on reads.
+	dirty []uint64
 }
 
-// NewRAM allocates size bytes of zeroed physical memory.
-func NewRAM(size int) *RAM { return &RAM{data: make([]byte, size)} }
+// ramPool recycles released RAM buffers by backing-store size. Capped per
+// size so a wide parallel sweep does not pin an unbounded amount of memory.
+var ramPool struct {
+	sync.Mutex
+	free map[int][]*RAM
+}
+
+const ramPoolCap = 16
+
+// NewRAM returns size bytes of zeroed physical memory, recycling a released
+// buffer of the same size when one is available.
+func NewRAM(size int) *RAM {
+	ramPool.Lock()
+	if l := ramPool.free[size]; len(l) > 0 {
+		r := l[len(l)-1]
+		l[len(l)-1] = nil
+		ramPool.free[size] = l[:len(l)-1]
+		ramPool.Unlock()
+		r.scrub()
+		return r
+	}
+	ramPool.Unlock()
+	pages := (size + ramPageSize - 1) >> ramPageShift
+	return &RAM{
+		data:  make([]byte, size),
+		dirty: make([]uint64, (pages+63)/64),
+	}
+}
+
+// Release returns the buffer to the recycling pool. The RAM (and anything
+// holding its Bytes) must not be used afterwards.
+func (r *RAM) Release() {
+	ramPool.Lock()
+	defer ramPool.Unlock()
+	if ramPool.free == nil {
+		ramPool.free = make(map[int][]*RAM)
+	}
+	if len(ramPool.free[len(r.data)]) < ramPoolCap {
+		ramPool.free[len(r.data)] = append(ramPool.free[len(r.data)], r)
+	}
+}
+
+// scrub re-zeroes every dirty page and clears the dirty map, restoring the
+// all-zero state a fresh allocation guarantees.
+func (r *RAM) scrub() {
+	for wi, w := range r.dirty {
+		if w == 0 {
+			continue
+		}
+		for b := 0; b < 64; b++ {
+			if w&(1<<b) == 0 {
+				continue
+			}
+			off := (wi*64 + b) << ramPageShift
+			end := off + ramPageSize
+			if end > len(r.data) {
+				end = len(r.data)
+			}
+			clear(r.data[off:end])
+		}
+		r.dirty[wi] = 0
+	}
+}
+
+// markDirty records a write of size bytes at pa (already bounds-checked).
+// CPU stores are size-aligned and never cross a page; the boundary check
+// costs one compare and covers generic callers.
+func (r *RAM) markDirty(pa uint32, size int) {
+	p := pa >> ramPageShift
+	r.dirty[p>>6] |= 1 << (p & 63)
+	if q := (pa + uint32(size) - 1) >> ramPageShift; q != p {
+		r.dirty[q>>6] |= 1 << (q & 63)
+	}
+}
+
+// MarkDirty records an external write of n bytes at pa — used by DMA, which
+// writes through the Bytes slice rather than Write.
+func (r *RAM) MarkDirty(pa uint32, n int) {
+	if n <= 0 {
+		return
+	}
+	for p := pa >> ramPageShift; p <= (pa+uint32(n)-1)>>ramPageShift; p++ {
+		r.dirty[p>>6] |= 1 << (p & 63)
+	}
+}
 
 // Size returns the memory size in bytes.
 func (r *RAM) Size() int { return len(r.data) }
 
-// Bytes exposes the backing store (used by loaders and DMA).
+// Bytes exposes the backing store (used by loaders and DMA). Writers must
+// report their ranges via MarkDirty.
 func (r *RAM) Bytes() []byte { return r.data }
 
 // Read returns the little-endian value of the given size at pa. Accesses
@@ -43,6 +143,7 @@ func (r *RAM) Write(pa uint32, size int, v uint64) {
 	if int(pa)+size > len(r.data) {
 		return
 	}
+	r.markDirty(pa, size)
 	switch size {
 	case 1:
 		r.data[pa] = byte(v)
@@ -60,4 +161,5 @@ func (r *RAM) Write(pa uint32, size int, v uint64) {
 // LoadSegment copies data into physical memory at pa.
 func (r *RAM) LoadSegment(pa uint32, data []byte) {
 	copy(r.data[pa:], data)
+	r.MarkDirty(pa, len(data))
 }

@@ -1,0 +1,74 @@
+// Package prof provides the shared -cpuprofile/-memprofile plumbing for
+// the CLIs, so every binary exposes the same profiling interface without
+// per-main duplication. Typical use:
+//
+//	p := prof.Flags()
+//	flag.Parse()
+//	if err := p.Start(); err != nil { ... }
+//	defer p.Stop()
+//
+// Profiles are written on the normal return path; error exits through
+// os.Exit skip them, which is fine — a failed run is not worth profiling.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler holds the profile destinations parsed from the command line.
+type Profiler struct {
+	cpuPath *string
+	memPath *string
+	cpuFile *os.File
+}
+
+// Flags registers -cpuprofile and -memprofile on the default flag set.
+// Call before flag.Parse.
+func Flags() *Profiler {
+	return &Profiler{
+		cpuPath: flag.String("cpuprofile", "", "write a pprof CPU profile to this file"),
+		memPath: flag.String("memprofile", "", "write a pprof heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling if requested. Call after flag.Parse.
+func (p *Profiler) Start() error {
+	if *p.cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpuPath)
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("prof: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop ends CPU profiling and writes the heap profile, as requested.
+func (p *Profiler) Stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+	if *p.memPath != "" {
+		f, err := os.Create(*p.memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date allocation stats
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+		}
+	}
+}

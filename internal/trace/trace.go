@@ -151,6 +151,9 @@ type Collector struct {
 
 	totalCycles uint64
 	totalInsts  uint64
+	// nextFlush caches cur.Start+WindowCycles so the per-cycle fast path
+	// compares against a single precomputed bound.
+	nextFlush uint64
 }
 
 // NewCollector creates a collector flushing every windowCycles cycles.
@@ -158,7 +161,7 @@ func NewCollector(windowCycles uint64) *Collector {
 	if windowCycles == 0 {
 		windowCycles = 10000
 	}
-	return &Collector{WindowCycles: windowCycles, mode: ModeKernel}
+	return &Collector{WindowCycles: windowCycles, mode: ModeKernel, nextFlush: windowCycles}
 }
 
 // SetEnergyFn installs the per-invocation energy callback (may be nil).
@@ -185,6 +188,20 @@ func (c *Collector) AddUnit(u Unit, n uint64) {
 	}
 }
 
+// AddUnits accumulates a whole unit-count vector in the current context.
+// The timing models batch their per-instruction structure accesses into a
+// local UnitCounts and flush it once per attribution context, replacing
+// 5–8 AddUnit calls (each re-deciding mode and service) with a single
+// branch and two straight-line vector adds. Because all counts are sums,
+// batching within one unchanged context is bit-identical to the unbatched
+// sequence.
+func (c *Collector) AddUnits(u *UnitCounts) {
+	c.cur.Mode[c.mode].Units.Add(u)
+	if c.svc != SvcNone {
+		c.invAcc[c.svc].Units.Add(u)
+	}
+}
+
 // AddCycles advances time by n cycles in the current context.
 func (c *Collector) AddCycles(n uint64) {
 	c.cur.Mode[c.mode].Cycles += n
@@ -192,7 +209,21 @@ func (c *Collector) AddCycles(n uint64) {
 	if c.svc != SvcNone {
 		c.invAcc[c.svc].Cycles += n
 	}
-	if c.totalCycles >= c.cur.Start+c.WindowCycles {
+	if c.totalCycles >= c.nextFlush {
+		c.flush(c.totalCycles)
+	}
+}
+
+// AddCycle advances time by one cycle — the machine run loop's per-cycle
+// fast path: no window arithmetic beyond one comparison against the
+// precomputed flush bound.
+func (c *Collector) AddCycle() {
+	c.cur.Mode[c.mode].Cycles++
+	c.totalCycles++
+	if c.svc != SvcNone {
+		c.invAcc[c.svc].Cycles++
+	}
+	if c.totalCycles >= c.nextFlush {
 		c.flush(c.totalCycles)
 	}
 }
@@ -248,6 +279,7 @@ func (c *Collector) flush(endCycle uint64) {
 	c.cur.End = endCycle
 	c.samples = append(c.samples, c.cur)
 	c.cur = Sample{Start: endCycle}
+	c.nextFlush = endCycle + c.WindowCycles
 }
 
 // Finish flushes the trailing partial window and returns the samples.

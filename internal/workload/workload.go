@@ -22,6 +22,7 @@ package workload
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"softwatt/internal/isa"
 	"softwatt/internal/kern"
@@ -159,13 +160,37 @@ func Benchmarks() map[string]*Params {
 	}
 }
 
+var buildCache struct {
+	sync.Mutex
+	m map[string]machine.Workload
+}
+
 // Build synthesises the named benchmark into a runnable machine workload.
+// Named benchmarks are generated from fixed parameters, so each is
+// assembled once and the result shared across runs (batch sweeps build the
+// same six programs for every cell). The shared workload is read-only by
+// contract: the machine copies segment bytes into RAM and file contents
+// into the disk image. Callers with custom parameters use BuildParams,
+// which is never cached.
 func Build(name string) (machine.Workload, error) {
+	buildCache.Lock()
+	defer buildCache.Unlock()
+	if w, ok := buildCache.m[name]; ok {
+		return w, nil
+	}
 	p, ok := Benchmarks()[name]
 	if !ok {
 		return machine.Workload{}, fmt.Errorf("workload: unknown benchmark %q", name)
 	}
-	return BuildParams(p)
+	w, err := BuildParams(p)
+	if err != nil {
+		return machine.Workload{}, err
+	}
+	if buildCache.m == nil {
+		buildCache.m = make(map[string]machine.Workload)
+	}
+	buildCache.m[name] = w
+	return w, nil
 }
 
 // BuildParams synthesises a workload from explicit parameters.

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the simulator throughput benchmark and emits BENCH_softwatt.json —
+# a machine-readable snapshot of simulation speed (Mcycles/s, Minsts/s,
+# ns/inst per core) plus host metadata, for CI artifacts and before/after
+# comparisons.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_softwatt.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSimulatorThroughput' -benchtime "${BENCHTIME:-5x}" . | tee "$raw"
+
+awk -v out="$out" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^goos:/ { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^BenchmarkSimulatorThroughput\// {
+    # BenchmarkSimulatorThroughput/<core>-N  iters  T ns/op  X Mcycles/s  Y Minsts/s  Z ns/inst
+    split($1, parts, "/"); core = parts[2]; sub(/-[0-9]+$/, "", core)
+    cores[core] = 1
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")      nsop[core]  = $i
+        if ($(i+1) == "Mcycles/s")  mcyc[core]  = $i
+        if ($(i+1) == "Minsts/s")   minst[core] = $i
+        if ($(i+1) == "ns/inst")    nsinst[core] = $i
+    }
+}
+END {
+    printf "{\n  \"benchmark\": \"SimulatorThroughput\",\n" > out
+    printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", goos, goarch, cpu > out
+    printf "  \"cores\": {" > out
+    sep = ""
+    for (core in cores) {
+        printf "%s\n    \"%s\": {\"ns_per_op\": %s, \"mcycles_per_s\": %s, \"minsts_per_s\": %s, \"ns_per_inst\": %s}", \
+            sep, core, nsop[core], mcyc[core], minst[core], nsinst[core] > out
+        sep = ","
+    }
+    printf "\n  }\n}\n" > out
+}' "$raw"
+
+echo "wrote $out"

@@ -188,7 +188,11 @@ func Run(benchmark string, opt Options) (*RunResult, error) {
 		return nil, fmt.Errorf("softwatt: %s exited with code %d (console: %q)",
 			benchmark, m.ExitCode(), m.Console())
 	}
-	return core.Collect(m, benchmark, cfg.Core.String()), nil
+	r := core.Collect(m, benchmark, cfg.Core.String())
+	// Collect copies everything out of the machine, so its 128 MB RAM can
+	// go back to the pool for the next run in this process.
+	m.Release()
+	return r, nil
 }
 
 // BatchOptions configure how a batch of independent simulations executes.
