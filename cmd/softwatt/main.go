@@ -15,8 +15,13 @@
 // Usage:
 //
 //	softwatt [-core mipsy|mxs|mxs1] [-disk conventional|idle|standby2|standby4]
-//	         [-j N] [-profile] [-services] [-log file] [-o file] <benchmark ...>
+//	         [-j N] [-profile] [-services] [-log file] [-o file]
+//	         [-http addr] [-trace file.json] <benchmark ...>
 //	softwatt -replay [-profile] [-services] <run.swlog ...>
+//
+// -http serves live Prometheus-text metrics and pprof while the run is in
+// flight; -trace writes a Chrome trace-event JSON of the run pipeline
+// (open in Perfetto). See DESIGN.md §10.
 //
 // Benchmarks: compress jess db javac mtrt jack
 package main
@@ -27,12 +32,14 @@ import (
 	"os"
 
 	"softwatt"
+	"softwatt/internal/obs"
 	"softwatt/internal/prof"
 	"softwatt/internal/trace"
 )
 
 func main() {
 	pr := prof.Flags()
+	ob := obs.Flags()
 	coreKind := flag.String("core", "mxs", "CPU timing model: mipsy, mxs, mxs1")
 	diskPol := flag.String("disk", "conventional", "disk policy: conventional, idle, standby2, standby4")
 	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = one per CPU)")
@@ -53,16 +60,22 @@ func main() {
 	}
 	if err := pr.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		prof.Exit(1)
 	}
 	defer pr.Stop()
+	if err := ob.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		prof.Exit(1)
+	}
+	prof.OnExit(ob.Stop)
+	defer ob.Stop()
 	est := softwatt.NewEstimator()
 	if *replay {
 		for i, path := range flag.Args() {
 			res, err := softwatt.LoadResultFile(path)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				prof.Exit(1)
 			}
 			if i > 0 {
 				fmt.Println()
@@ -83,15 +96,13 @@ func main() {
 
 	batch := softwatt.BatchOptions{Workers: *jobs}
 	if len(benches) > 1 {
-		batch.Progress = func(done, total int, label string) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, label)
-		}
+		batch.Progress = obs.NewProgress(os.Stderr).Cell
 	}
 	opt := softwatt.Options{Core: *coreKind, DiskPolicy: *diskPol}
 	results, err := softwatt.RunMatrixBatch(benches, nil, opt, batch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		prof.Exit(1)
 	}
 
 	for i, res := range results {
@@ -106,15 +117,15 @@ func main() {
 		f, err := os.Create(*logFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			prof.Exit(1)
 		}
 		if err := trace.WriteLog(f, res.Samples); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			prof.Exit(1)
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			prof.Exit(1)
 		}
 		fmt.Printf("\nwrote %d sample windows to %s\n", len(res.Samples), *logFile)
 	}
@@ -123,7 +134,7 @@ func main() {
 	if *outFile != "" {
 		if err := softwatt.SaveResultFile(*outFile, results[0]); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			prof.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote run log %s\n", *outFile)
 	}

@@ -12,9 +12,13 @@
 // regenerates the full report with zero simulations, byte-identical to
 // the live-run output.
 //
+// -http serves live metrics and pprof during the passes; -trace records
+// the whole report generation as a Perfetto-viewable pipeline trace.
+//
 // Usage:
 //
-//	swreport [-j N] [-logs dir] [-exp all|v1|t1|f2|f3|f4|f5|f6|f7|f8|f9|t2|t3|t4|t5|x1|x2|a1|a2]
+//	swreport [-j N] [-logs dir] [-http addr] [-trace file.json]
+//	         [-exp all|v1|t1|f2|f3|f4|f5|f6|f7|f8|f9|t2|t3|t4|t5|x1|x2|a1|a2]
 package main
 
 import (
@@ -26,21 +30,29 @@ import (
 	"softwatt"
 	"softwatt/internal/machine"
 	"softwatt/internal/mem"
+	"softwatt/internal/obs"
 	"softwatt/internal/prof"
 	"softwatt/internal/trace"
 )
 
 func main() {
 	pr := prof.Flags()
+	ob := obs.Flags()
 	exp := flag.String("exp", "all", "experiment id (see DESIGN.md §4) or 'all'")
 	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = one per CPU)")
 	logsDir := flag.String("logs", "", "run-log cache directory: load saved runs, save simulated ones")
 	flag.Parse()
 	if err := pr.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		prof.Exit(1)
 	}
 	defer pr.Stop()
+	if err := ob.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		prof.Exit(1)
+	}
+	prof.OnExit(ob.Stop)
+	defer ob.Stop()
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
@@ -50,7 +62,7 @@ func main() {
 	for _, id := range ids {
 		if err := st.run(strings.TrimSpace(id)); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
-			os.Exit(1)
+			prof.Exit(1)
 		}
 	}
 }
@@ -64,13 +76,12 @@ type state struct {
 }
 
 // batch returns the batch options every multi-run experiment shares:
-// the -j worker count and per-cell progress on stderr.
+// the -j worker count and per-cell progress (rate, ETA, failures) on
+// stderr.
 func (s *state) batch() softwatt.BatchOptions {
 	return softwatt.BatchOptions{
-		Workers: s.workers,
-		Progress: func(done, total int, label string) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, label)
-		},
+		Workers:  s.workers,
+		Progress: obs.NewProgress(os.Stderr).Cell,
 	}
 }
 

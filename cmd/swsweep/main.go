@@ -14,9 +14,13 @@
 // (matched by configuration digest) load instead of re-simulating — a
 // warm sweep renders the identical report with zero simulations.
 //
+// -http serves live metrics (throughput, worker occupancy, disk-state
+// counters) while the sweep runs; -trace records the pipeline for
+// Perfetto.
+//
 // Usage:
 //
-//	swsweep [-j N] [-q] [-logs dir] [benchmark ...]
+//	swsweep [-j N] [-q] [-logs dir] [-http addr] [-trace file.json] [benchmark ...]
 package main
 
 import (
@@ -25,11 +29,13 @@ import (
 	"os"
 
 	"softwatt"
+	"softwatt/internal/obs"
 	"softwatt/internal/prof"
 )
 
 func main() {
 	pr := prof.Flags()
+	ob := obs.Flags()
 	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = one per CPU)")
 	quiet := flag.Bool("q", false, "suppress per-cell progress on stderr")
 	logsDir := flag.String("logs", "", "run-log cache directory: load saved cells, save simulated ones")
@@ -40,9 +46,15 @@ func main() {
 	flag.Parse()
 	if err := pr.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		prof.Exit(1)
 	}
 	defer pr.Stop()
+	if err := ob.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		prof.Exit(1)
+	}
+	prof.OnExit(ob.Stop)
+	defer ob.Stop()
 
 	benches := flag.Args()
 	if len(benches) == 0 {
@@ -61,14 +73,12 @@ func main() {
 
 	b := softwatt.BatchOptions{Workers: *jobs}
 	if !*quiet {
-		b.Progress = func(done, total int, label string) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, label)
-		}
+		b.Progress = obs.NewProgress(os.Stderr).Cell
 	}
 	results, err := softwatt.RunBatchCached(specs, *logsDir, b)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		prof.Exit(1)
 	}
 	rows := make([]softwatt.Fig9Row, len(results))
 	for i, r := range results {

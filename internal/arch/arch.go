@@ -142,6 +142,9 @@ type CPU struct {
 	duTLB   microTLB // last data translation
 	pd      []pdLine // predecoded instruction lines
 	pdLimit uint32   // predecode only below this physical address (0 = off)
+	// Predecode effectiveness telemetry (see FastStats).
+	pdHits   uint64
+	pdMisses uint64
 }
 
 // New creates a CPU in the post-reset state: kernel mode, exceptions off,
@@ -239,8 +242,10 @@ func (c *CPU) tlbLookup(mc *microTLB, va uint32, write bool) (uint32, xlat, bool
 	vpn := va >> isa.PageShift
 	asid := c.ASID()
 	if mc.ok && mc.vpn == vpn && mc.asid == asid && (!write || mc.dirty) {
+		mc.hits++
 		return mc.pfn<<isa.PageShift | va&(isa.PageSize-1), xlatOK, true
 	}
+	mc.misses++
 	for i := range c.TLB {
 		e := &c.TLB[i]
 		if !e.InUse || e.VPN != vpn || (!e.G && e.ASID != asid) {
@@ -253,8 +258,9 @@ func (c *CPU) tlbLookup(mc *microTLB, va uint32, write bool) (uint32, xlat, bool
 			return 0, xlatMod, true
 		}
 		// Successful translations (and only those) seed the micro-cache;
-		// the cached D bit keeps the store-permission check exact.
-		*mc = microTLB{vpn: vpn, pfn: e.PFN, asid: asid, dirty: e.D, ok: true}
+		// the cached D bit keeps the store-permission check exact. Field
+		// assignments (not a struct literal) preserve the telemetry counts.
+		mc.vpn, mc.pfn, mc.asid, mc.dirty, mc.ok = vpn, e.PFN, asid, e.D, true
 		return e.PFN<<isa.PageShift | va&(isa.PageSize-1), xlatOK, true
 	}
 	return 0, xlatMiss, true

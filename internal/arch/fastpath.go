@@ -63,6 +63,9 @@ func (c *CPU) DecodeAt(paddr uint32) isa.Inst {
 		}
 		ln.base = base
 		ln.valid = true
+		c.pdMisses++
+	} else {
+		c.pdHits++
 	}
 	return ln.inst[paddr>>2&(pdLineWords-1)]
 }
@@ -122,6 +125,34 @@ type microTLB struct {
 	asid  uint8
 	dirty bool
 	ok    bool
+	// hits/misses are host-side effectiveness telemetry (FastStats); they
+	// survive invalidation and refill.
+	hits   uint64
+	misses uint64
+}
+
+// FastStats counts the host-time caches' effectiveness. Pure telemetry:
+// these numbers never feed the power model and are not serialized into run
+// logs, so publishing them cannot perturb results.
+type FastStats struct {
+	PredecodeHits   uint64
+	PredecodeMisses uint64 // line fills
+	ITLBHits        uint64 // instruction-side micro-TLB
+	ITLBMisses      uint64 // full 64-entry TLB scans on the fetch path
+	DTLBHits        uint64 // data-side micro-TLB
+	DTLBMisses      uint64
+}
+
+// FastStats returns a snapshot of the host-cache telemetry counters.
+func (c *CPU) FastStats() FastStats {
+	return FastStats{
+		PredecodeHits:   c.pdHits,
+		PredecodeMisses: c.pdMisses,
+		ITLBHits:        c.iuTLB.hits,
+		ITLBMisses:      c.iuTLB.misses,
+		DTLBHits:        c.duTLB.hits,
+		DTLBMisses:      c.duTLB.misses,
+	}
 }
 
 // microInvalidate drops both translation micro-entries (TLB write, reset).

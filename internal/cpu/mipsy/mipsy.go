@@ -10,6 +10,7 @@ import (
 	"softwatt/internal/arch"
 	"softwatt/internal/isa"
 	"softwatt/internal/mem"
+	"softwatt/internal/obs"
 	"softwatt/internal/trace"
 )
 
@@ -48,6 +49,12 @@ func New(cpu *arch.CPU, h *mem.Hierarchy, col *trace.Collector) *Core {
 
 // CPU returns the underlying functional core.
 func (c *Core) CPU() *arch.CPU { return c.cpu }
+
+// Counters implements the machine's telemetry hook. Mipsy has no branch
+// predictor or speculative pipeline, so only Committed moves.
+func (c *Core) Counters() obs.CoreCounters {
+	return obs.CoreCounters{Committed: c.Committed}
+}
 
 // Tick advances the pipeline by one cycle, invoking commit when an
 // instruction completes architecturally this cycle.

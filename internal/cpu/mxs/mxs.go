@@ -21,6 +21,7 @@ import (
 	"softwatt/internal/arch"
 	"softwatt/internal/isa"
 	"softwatt/internal/mem"
+	"softwatt/internal/obs"
 	"softwatt/internal/trace"
 )
 
@@ -185,6 +186,17 @@ func New(cpu *arch.CPU, h *mem.Hierarchy, col *trace.Collector, bus arch.Bus, cf
 
 // CPU returns the functional core.
 func (c *Core) CPU() *arch.CPU { return c.cpu }
+
+// Counters implements the machine's telemetry hook with the speculative
+// pipeline's statistics.
+func (c *Core) Counters() obs.CoreCounters {
+	return obs.CoreCounters{
+		Committed:   c.Committed,
+		Mispredicts: c.Mispredicts,
+		Flushes:     c.Flushes,
+		WrongPath:   c.Bogus,
+	}
+}
 
 func (c *Core) at(i int) *robEnt { return &c.rob[(c.head+i)%c.cfg.WindowSize] }
 

@@ -33,6 +33,9 @@ const (
 	numStates
 )
 
+// NumStates is the number of disk operating modes (telemetry iteration).
+const NumStates = int(numStates)
+
 var stateNames = [numStates]string{
 	"off", "spinup", "idle", "standby", "active", "seek", "spindown", "sleep",
 }

@@ -19,6 +19,7 @@ import (
 	"softwatt/internal/isa"
 	"softwatt/internal/kern"
 	"softwatt/internal/mem"
+	"softwatt/internal/obs"
 	"softwatt/internal/trace"
 )
 
@@ -49,6 +50,9 @@ type Core interface {
 	// Tick advances the pipeline by one cycle, invoking commit (in program
 	// order) for every instruction that architecturally completes.
 	Tick(cycle uint64, commit func(*arch.StepInfo))
+	// Counters returns the model's telemetry counters (committed
+	// instructions, mispredictions, flushes). Read between Ticks only.
+	Counters() obs.CoreCounters
 }
 
 // Config describes one machine instance.
@@ -117,6 +121,12 @@ type Machine struct {
 
 	timerNext uint64
 	commit    func(*arch.StepInfo) // bound once; avoids per-cycle allocation
+
+	// Live telemetry (nil unless metrics were enabled at construction).
+	// obsNext is MaxUint64 when disabled so the run loop pays one
+	// always-false compare per cycle and nothing else.
+	tele    *telemetry
+	obsNext uint64
 
 	// Committed counts committed instructions (excluding bubbles).
 	Committed uint64
@@ -221,6 +231,11 @@ func New(cfg Config, w Workload) (*Machine, error) {
 		return nil, fmt.Errorf("machine: unknown core kind %d", cfg.Core)
 	}
 	m.timerNext = math.MaxUint64 // armed when the kernel writes the interval
+	m.obsNext = math.MaxUint64
+	if obs.MetricsEnabled() {
+		m.tele = newTelemetry()
+		m.obsNext = obsIntervalCycles
+	}
 	m.commit = m.commitFn
 	return m, nil
 }
@@ -294,6 +309,13 @@ func (m *Machine) Run(maxCycles uint64) error {
 		maxCycles = m.cfg.MaxCycles
 	}
 	limit := m.cycle + maxCycles
+	if m.tele != nil {
+		m.tele.sim.MachinesActive.Add(1)
+		defer func() {
+			m.publishObs()
+			m.tele.sim.MachinesActive.Add(-1)
+		}()
+	}
 	for !m.halted && m.cycle < limit {
 		// Device time.
 		if m.cycle >= m.dsk.NextEvent() {
@@ -304,6 +326,9 @@ func (m *Machine) Run(maxCycles uint64) error {
 		}
 		if m.cycle >= m.timerNext {
 			m.cpu.SetIRQ(isa.IntTimer, true)
+		}
+		if m.cycle >= m.obsNext {
+			m.publishObs()
 		}
 
 		m.core.Tick(m.cycle, m.commit)

@@ -159,6 +159,19 @@ func (c *Cache) InvalidateAll() {
 	}
 }
 
+// CacheSnapshot is a copy of a cache's activity counters, taken by the
+// telemetry publisher to compute deltas between publications.
+type CacheSnapshot struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// Snapshot returns the current activity counters.
+func (c *Cache) Snapshot() CacheSnapshot {
+	return CacheSnapshot{Hits: c.Hits, Misses: c.Misses, Writebacks: c.Writebacks}
+}
+
 // OccupiedLines returns the number of valid lines (for tests/telemetry).
 func (c *Cache) OccupiedLines() int {
 	n := 0

@@ -1,0 +1,67 @@
+package obs
+
+// The opt-in telemetry endpoint: /metrics in Prometheus text format plus
+// the standard net/http/pprof handlers, served from a background goroutine
+// for the lifetime of the process. A 1 Hz sampler derives live throughput
+// gauges (Mcycles/s, Minsts/s) from the monotonic counters so a bare curl
+// shows rates without needing a scraping stack.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Serve starts the telemetry HTTP server on addr (e.g. ":8080" or
+// "127.0.0.1:0") serving the default registry, and returns the bound
+// address. It also enables metric publication and starts the throughput
+// sampler. The server runs until the process exits.
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: %w", err)
+	}
+	SetMetricsEnabled(true)
+	go sampleRates(time.Second)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		def.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}
+
+// sampleRates converts the cycle/instruction counters into live rate
+// gauges once per interval, for the life of the process.
+func sampleRates(interval time.Duration) {
+	cycles := def.Counter("softwatt_sim_cycles_total",
+		"Simulated cycles across all machines.", "")
+	insts := def.Counter("softwatt_sim_insts_total",
+		"Committed instructions across all machines.", "")
+	mcyc := def.Gauge("softwatt_sim_mcycles_per_second",
+		"Live simulation throughput in Mcycles/s (1s window).", "")
+	minst := def.Gauge("softwatt_sim_minsts_per_second",
+		"Live simulation throughput in Minsts/s (1s window).", "")
+	lastC, lastI := cycles.Value(), insts.Value()
+	last := time.Now()
+	for range time.Tick(interval) {
+		now := time.Now()
+		dt := now.Sub(last).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		c, i := cycles.Value(), insts.Value()
+		mcyc.Set(float64(c-lastC) / dt / 1e6)
+		minst.Set(float64(i-lastI) / dt / 1e6)
+		lastC, lastI, last = c, i, now
+	}
+}

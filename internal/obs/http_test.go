@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeMetrics spins the telemetry endpoint up on an ephemeral port
+// and scrapes it the way the CI smoke test does with curl.
+func TestServeMetrics(t *testing.T) {
+	Sim().Cycles.Add(123)
+	Batch() // register the batch instruments so the scrape lists them
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MetricsEnabled() {
+		t.Fatal("Serve should enable metric publication")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE softwatt_sim_cycles_total counter",
+		"softwatt_sim_cycles_total",
+		"softwatt_batch_workers_busy",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("scrape missing %q in:\n%s", want, body)
+		}
+	}
+
+	// pprof rides along on the same mux.
+	pr, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/cmdline = %d", pr.StatusCode)
+	}
+}

@@ -1,0 +1,293 @@
+package obs
+
+// The metrics registry. Three instrument kinds cover everything the
+// simulator reports: monotonic counters (cycles, hits, cells done), gauges
+// (worker occupancy, live throughput), and fixed-bucket histograms (cell
+// wall time). All instruments are safe for concurrent use from any number
+// of worker goroutines; reads (the /metrics scrape) never block writers.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed upper-bound buckets (plus an
+// implicit +Inf bucket) and tracks their sum, Prometheus-style.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf implicit
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the bucket containing the target rank. The lower edge of the first
+// bucket is taken as 0 (observations here are non-negative durations and
+// sizes); an estimate landing in the +Inf bucket returns the highest finite
+// bound. Returns NaN when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, bound := 0, 0.0; i < len(h.bounds); i++ {
+		lo := bound
+		bound = h.bounds[i]
+		n := float64(h.counts[i].Load())
+		if cum+n >= rank {
+			if n == 0 {
+				return bound
+			}
+			frac := (rank - cum) / n
+			return lo + frac*(bound-lo)
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metricKind distinguishes instrument types for the exposition format.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one metric name: its metadata and its labelled series.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]any // label string (`k="v",...`, may be "") -> instrument
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Get-or-create lookups are cheap enough for per-run
+// setup but are not meant for the per-cycle hot path: callers resolve their
+// instruments once and hold the pointers.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+// def is the process-wide default registry served by /metrics.
+var def = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return def }
+
+// lookup returns the instrument for (name, labels), creating it with mk on
+// first use. Registering one name with two different kinds is a programming
+// error and panics.
+func (r *Registry) lookup(name, help string, kind metricKind, labels string, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]any)}
+		r.fams[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.kind, kind))
+	}
+	m := f.series[labels]
+	if m == nil {
+		m = mk()
+		f.series[labels] = m
+	}
+	return m
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+// labels is a pre-rendered Prometheus label list such as `cache="l1i"`, or
+// "" for an unlabelled series.
+func (r *Registry) Counter(name, help, labels string) *Counter {
+	return r.lookup(name, help, kindCounter, labels, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help, labels string) *Gauge {
+	return r.lookup(name, help, kindGauge, labels, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the histogram for (name, labels), creating it with the
+// given upper bounds on first use (later calls reuse the existing buckets).
+func (r *Registry) Histogram(name, help, labels string, bounds []float64) *Histogram {
+	return r.lookup(name, help, kindHistogram, labels, func() any { return newHistogram(bounds) }).(*Histogram)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, families and series in stable sorted order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type snap struct {
+		fam    *family
+		labels []string
+	}
+	snaps := make([]snap, len(names))
+	for i, n := range names {
+		f := r.fams[n]
+		ls := make([]string, 0, len(f.series))
+		for l := range f.series {
+			ls = append(ls, l)
+		}
+		sort.Strings(ls)
+		snaps[i] = snap{fam: f, labels: ls}
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, s := range snaps {
+		f := s.fam
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, l := range s.labels {
+			switch m := f.series[l].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, renderLabels(l, ""), m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(l, ""), formatFloat(m.Value()))
+			case *Histogram:
+				var cum uint64
+				for i, bound := range m.bounds {
+					cum += m.counts[i].Load()
+					le := fmt.Sprintf(`le="%s"`, formatFloat(bound))
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, renderLabels(l, le), cum)
+				}
+				cum += m.counts[len(m.bounds)].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, renderLabels(l, `le="+Inf"`), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, renderLabels(l, ""), formatFloat(m.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, renderLabels(l, ""), cum)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// renderLabels merges a series label string with an extra label (for
+// histogram le) into the {...} form, or returns "" when both are empty.
+func renderLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// formatFloat renders a float in the shortest round-trip form, matching the
+// Prometheus convention of plain decimal/exponent notation.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}

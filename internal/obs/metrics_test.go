@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(1.5)
+	g.Add(2.0)
+	g.Add(-0.5)
+	if got := g.Value(); got != 3.0 {
+		t.Fatalf("gauge = %g, want 3", got)
+	}
+}
+
+// TestRegistryConcurrency hammers get-or-create, updates, and scrapes from
+// many goroutines; run under -race this is the registry's thread-safety
+// proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("conc_total", "h", "").Inc()
+				r.Gauge("conc_gauge", "h", "").Add(1)
+				r.Histogram("conc_hist", "h", "", []float64{1, 10}).Observe(float64(i % 20))
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "h", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("conc_gauge", "h", "").Value(); got != 8000 {
+		t.Fatalf("gauge = %g, want 8000", got)
+	}
+	if got := r.Histogram("conc_hist", "h", "", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 3, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	for _, v := range []float64{0.5, 1.5, 2.5, 3.5} {
+		h.Observe(v)
+	}
+	if got, want := h.Count(), uint64(4); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	if got, want := h.Sum(), 8.0; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	// Rank interpolation: q=0.25 lands exactly at the top of the first
+	// bucket, q=0.5 at the top of the second.
+	if got := h.Quantile(0.25); got != 1.0 {
+		t.Errorf("q25 = %g, want 1", got)
+	}
+	if got := h.Quantile(0.5); got != 2.0 {
+		t.Errorf("q50 = %g, want 2", got)
+	}
+	if got := h.Quantile(1.0); got != 4.0 {
+		t.Errorf("q100 = %g, want 4", got)
+	}
+	// An observation beyond every bound lands in +Inf; the estimate clamps
+	// to the highest finite bound rather than inventing a value.
+	h2 := newHistogram([]float64{1})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 1.0 {
+		t.Errorf("+Inf-bucket quantile = %g, want clamp to 1", got)
+	}
+}
+
+// TestWritePrometheus pins the text exposition format: HELP/TYPE headers,
+// sorted families and series, histogram cumulative buckets with the
+// trailing +Inf, and _sum/_count.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "A counter.", `cache="l1i"`).Add(3)
+	r.Counter("b_total", "A counter.", `cache="l1d"`).Add(4)
+	r.Gauge("a_gauge", "A gauge.", "").Set(2.5)
+	h := r.Histogram("c_seconds", "A histogram.", "", []float64{1, 5})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(7)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_gauge A gauge.
+# TYPE a_gauge gauge
+a_gauge 2.5
+# HELP b_total A counter.
+# TYPE b_total counter
+b_total{cache="l1d"} 4
+b_total{cache="l1i"} 3
+# HELP c_seconds A histogram.
+# TYPE c_seconds histogram
+c_seconds_bucket{le="1"} 1
+c_seconds_bucket{le="5"} 2
+c_seconds_bucket{le="+Inf"} 3
+c_seconds_sum 10.5
+c_seconds_count 3
+`
+	if sb.String() != want {
+		t.Fatalf("exposition format drifted:\n got:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "h", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as two kinds should panic")
+		}
+	}()
+	r.Gauge("x_total", "h", "")
+}

@@ -1,0 +1,54 @@
+package obs
+
+// The shared stderr progress line for batch sweeps: per-cell completion
+// with a running rate, an ETA extrapolated from cells finished so far, and
+// failing cells called out as they fail (not only in the final error).
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Progress renders batch completion lines. Callbacks arrive serially from
+// the run engine (runner.Options.Progress is serialized), so Progress needs
+// no locking of its own.
+type Progress struct {
+	w      io.Writer
+	start  time.Time
+	now    func() time.Time // test hook
+	failed []string
+}
+
+// NewProgress creates a progress printer writing to w (normally os.Stderr).
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w, start: time.Now(), now: time.Now}
+}
+
+// Cell reports one finished cell. A failing cell prints its error on the
+// spot and is remembered: subsequent lines carry the failed-cell count so
+// a scrolling sweep never hides an early failure.
+func (p *Progress) Cell(done, total int, label string, err error) {
+	if err != nil {
+		p.failed = append(p.failed, label)
+		fmt.Fprintf(p.w, "[%d/%d] %s FAILED: %v\n", done, total, label, err)
+		return
+	}
+	elapsed := p.now().Sub(p.start)
+	line := fmt.Sprintf("[%d/%d] %s", done, total, label)
+	if elapsed > 0 && done > 0 {
+		rate := float64(done) / elapsed.Seconds()
+		line += fmt.Sprintf("  %.1f cells/min", rate*60)
+		if left := total - done; left > 0 {
+			eta := time.Duration(float64(left) / rate * float64(time.Second))
+			line += fmt.Sprintf("  ETA %s", eta.Round(time.Second))
+		}
+	}
+	if n := len(p.failed); n > 0 {
+		line += fmt.Sprintf("  (%d failed: %s)", n, p.failed[len(p.failed)-1])
+	}
+	fmt.Fprintln(p.w, line)
+}
+
+// Failed returns the labels of cells that failed so far, in failure order.
+func (p *Progress) Failed() []string { return p.failed }

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProgressLine(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb)
+	// Fake clock: 30 s after start, 2 of 4 cells done => 4 cells/min,
+	// 30 s to go.
+	p.now = func() time.Time { return p.start.Add(30 * time.Second) }
+
+	p.Cell(1, 4, "jess/idle", nil)
+	p.Cell(2, 4, "db/idle", errors.New("boom"))
+	p.Cell(3, 4, "jack/idle", nil)
+
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %q", len(lines), sb.String())
+	}
+	if want := "[1/4] jess/idle  2.0 cells/min  ETA 1m30s"; lines[0] != want {
+		t.Errorf("line 1 = %q, want %q", lines[0], want)
+	}
+	if want := "[2/4] db/idle FAILED: boom"; lines[1] != want {
+		t.Errorf("line 2 = %q, want %q", lines[1], want)
+	}
+	// A later success line keeps carrying the failure so it never scrolls
+	// out of sight.
+	if want := "[3/4] jack/idle  6.0 cells/min  ETA 10s  (1 failed: db/idle)"; lines[2] != want {
+		t.Errorf("line 3 = %q, want %q", lines[2], want)
+	}
+	if got := p.Failed(); len(got) != 1 || got[0] != "db/idle" {
+		t.Errorf("Failed() = %v", got)
+	}
+}

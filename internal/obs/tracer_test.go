@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestTraceJSONRoundTrip serializes a small trace and loads it back
+// through the JSON schema Perfetto consumes: process/thread metadata
+// first, complete spans with µs timestamps and durations, args attached.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	SetTracer(tr)
+	defer SetTracer(nil)
+
+	tr.SetThreadName(1, "worker 0")
+	sp := StartSpan(1, "simulate jess", "simulate")
+	sp.Arg("core", "mipsy")
+	sp.End()
+	tr.Instant(1, "marker", nil)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		TraceEvents     []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", file.DisplayTimeUnit)
+	}
+	// process_name metadata, thread_name metadata, one X span, one instant.
+	if len(file.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4: %+v", len(file.TraceEvents), file.TraceEvents)
+	}
+	if ev := file.TraceEvents[0]; ev.Ph != "M" || ev.Name != "process_name" || ev.Args["name"] != "softwatt" {
+		t.Errorf("first event is not process metadata: %+v", ev)
+	}
+	if ev := file.TraceEvents[1]; ev.Ph != "M" || ev.Name != "thread_name" || ev.TID != 1 || ev.Args["name"] != "worker 0" {
+		t.Errorf("second event is not the thread name: %+v", ev)
+	}
+	var span *TraceEvent
+	for i := range file.TraceEvents {
+		if file.TraceEvents[i].Ph == "X" {
+			span = &file.TraceEvents[i]
+		}
+	}
+	if span == nil {
+		t.Fatal("no complete span in trace")
+	}
+	if span.Name != "simulate jess" || span.Cat != "simulate" || span.TID != 1 {
+		t.Errorf("span fields drifted: %+v", span)
+	}
+	if span.TS < 0 || span.Dur < 0 {
+		t.Errorf("span has negative time: ts=%d dur=%d", span.TS, span.Dur)
+	}
+	if span.Args["core"] != "mipsy" {
+		t.Errorf("span args = %v, want core=mipsy", span.Args)
+	}
+}
+
+// TestInertSpan verifies the disabled path: with no tracer installed a
+// span is a no-op and performs zero allocations, so instrumented code
+// costs nothing when tracing is off.
+func TestInertSpan(t *testing.T) {
+	SetTracer(nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := StartSpan(3, "noop", "cell")
+		sp.Arg("k", "v")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("inert span allocates %v times per op, want 0", allocs)
+	}
+}

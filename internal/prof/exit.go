@@ -1,0 +1,74 @@
+package prof
+
+// Exit-path flushing. The original Stop-on-defer scheme silently lost
+// profiles on every error path (os.Exit skips defers) and on ^C. Exit and
+// HandleSignals close that hole: CLIs register flush work with OnExit
+// (profiler stop, trace write), replace os.Exit with prof.Exit, and call
+// HandleSignals once so an interrupted sweep still writes its profile and
+// trace before dying.
+
+import (
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+var (
+	hookMu     sync.Mutex
+	hooks      []func()
+	hooksRan   bool
+	signalOnce sync.Once
+)
+
+// OnExit registers fn to run before the process exits through Exit or a
+// handled signal. Hooks run LIFO, at most once across all exit paths, so
+// a hook may also be deferred on the normal return path if it is
+// idempotent.
+func OnExit(fn func()) {
+	hookMu.Lock()
+	hooks = append(hooks, fn)
+	hookMu.Unlock()
+}
+
+// runHooks executes the registered hooks LIFO, once.
+func runHooks() {
+	hookMu.Lock()
+	done := hooksRan
+	hooksRan = true
+	hs := hooks
+	hookMu.Unlock()
+	if done {
+		return
+	}
+	for i := len(hs) - 1; i >= 0; i-- {
+		hs[i]()
+	}
+}
+
+// Exit runs the registered exit hooks and terminates the process with
+// code. CLIs use it in place of os.Exit so error exits still flush
+// profiles and traces.
+func Exit(code int) {
+	runHooks()
+	os.Exit(code)
+}
+
+// HandleSignals installs a SIGINT/SIGTERM handler that runs the exit
+// hooks and exits with the conventional 128+signal status. Installing
+// more than once is a no-op.
+func HandleSignals() {
+	signalOnce.Do(func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			sig := <-ch
+			runHooks()
+			code := 128 + 2 // SIGINT
+			if sig == syscall.SIGTERM {
+				code = 128 + 15
+			}
+			os.Exit(code)
+		}()
+	})
+}

@@ -1,0 +1,19 @@
+package prof
+
+import "testing"
+
+// TestExitHooksRunOnceLIFO exercises the hook machinery Exit and the
+// signal handler share (calling Exit itself would kill the test process).
+func TestExitHooksRunOnceLIFO(t *testing.T) {
+	var order []int
+	OnExit(func() { order = append(order, 1) })
+	OnExit(func() { order = append(order, 2) })
+	runHooks()
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("hooks ran %v, want LIFO [2 1]", order)
+	}
+	runHooks() // second exit path (e.g. defer after signal) must be a no-op
+	if len(order) != 2 {
+		t.Fatalf("hooks ran again: %v", order)
+	}
+}

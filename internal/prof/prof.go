@@ -7,8 +7,9 @@
 //	if err := p.Start(); err != nil { ... }
 //	defer p.Stop()
 //
-// Profiles are written on the normal return path; error exits through
-// os.Exit skip them, which is fine — a failed run is not worth profiling.
+// Start registers Stop as an exit hook and installs the signal handler,
+// so profiles are written on every exit path — normal return, prof.Exit
+// on errors, and SIGINT/SIGTERM — never lost to a bare os.Exit.
 package prof
 
 import (
@@ -24,6 +25,7 @@ type Profiler struct {
 	cpuPath *string
 	memPath *string
 	cpuFile *os.File
+	stopped bool
 }
 
 // Flags registers -cpuprofile and -memprofile on the default flag set.
@@ -35,8 +37,11 @@ func Flags() *Profiler {
 	}
 }
 
-// Start begins CPU profiling if requested. Call after flag.Parse.
+// Start begins CPU profiling if requested, registers Stop as an exit
+// hook, and arms the signal handler. Call after flag.Parse.
 func (p *Profiler) Start() error {
+	OnExit(p.Stop)
+	HandleSignals()
 	if *p.cpuPath == "" {
 		return nil
 	}
@@ -53,7 +58,13 @@ func (p *Profiler) Start() error {
 }
 
 // Stop ends CPU profiling and writes the heap profile, as requested.
+// Idempotent: it runs once whether reached by defer, prof.Exit, or a
+// signal.
 func (p *Profiler) Stop() {
+	if p.stopped {
+		return
+	}
+	p.stopped = true
 	if p.cpuFile != nil {
 		pprof.StopCPUProfile()
 		p.cpuFile.Close()

@@ -22,6 +22,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"softwatt/internal/obs"
 )
 
 // Job is one independent unit of work. Label identifies the cell in errors
@@ -45,6 +48,13 @@ type Options struct {
 	Workers int
 	// Progress, when non-nil, observes each job completion.
 	Progress Progress
+	// OnStart, when non-nil, is called in the worker goroutine immediately
+	// before it runs jobs[index]. worker is the goroutine's stable id in
+	// [0, Workers). Because the job body runs on the same goroutine after
+	// the hook, the job may read anything OnStart wrote without further
+	// synchronization — this is how the facade routes each cell's trace
+	// spans onto its worker's track.
+	OnStart func(worker, index int, label string)
 }
 
 // workers resolves the effective worker count for n jobs.
@@ -131,21 +141,34 @@ func Map[T any](jobs []Job[T], opt Options) ([]T, error) {
 		progressMu.Unlock()
 	}
 
+	bm := obs.Batch()
+	bm.QueueDepth.Add(float64(n))
+
 	idx := make(chan int)
 	var wg sync.WaitGroup
-	for w := opt.workers(n); w > 0; w-- {
+	for w := opt.workers(n) - 1; w >= 0; w-- {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
+				if opt.OnStart != nil {
+					opt.OnStart(worker, i, jobs[i].Label)
+				}
+				bm.QueueDepth.Add(-1)
+				bm.WorkersBusy.Add(1)
+				begin := time.Now()
 				res, err := runOne(jobs[i].Run)
+				bm.CellSeconds.Observe(time.Since(begin).Seconds())
+				bm.WorkersBusy.Add(-1)
+				bm.CellsDone.Inc()
 				results[i] = res
 				if err != nil {
+					bm.CellsFailed.Inc()
 					errs[i] = &JobError{Index: i, Label: jobs[i].Label, Err: err}
 				}
 				report(i, err)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		idx <- i

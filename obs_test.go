@@ -1,0 +1,97 @@
+package softwatt
+
+// Telemetry invariance tests: DESIGN.md §9's byte-identity contract must
+// hold with the full observability stack switched on. Metrics publication
+// and span tracing read counters the simulator already keeps, so a run
+// with both enabled must serialize to the exact golden logv2 bytes of a
+// dark run.
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"softwatt/internal/obs"
+)
+
+// TestGoldenBytesWithTelemetry re-runs the compress-mipsy golden case with
+// metrics publication and the tracer enabled and demands the same result
+// bytes as the checked-in golden (which was produced with telemetry off).
+func TestGoldenBytesWithTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-run golden comparison skipped in -short mode")
+	}
+	obs.SetMetricsEnabled(true)
+	defer obs.SetMetricsEnabled(false)
+	tr := obs.NewTracer()
+	obs.SetTracer(tr)
+	defer obs.SetTracer(nil)
+
+	cyclesBefore := obs.Sim().Cycles.Value()
+	r, err := Run("compress", Options{Core: "mipsy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveResult(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(goldenPath("compress-mipsy", ".swlog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("telemetry perturbed the result: %d bytes vs golden %d "+
+			"(first difference at byte %d); observability must never touch "+
+			"architected state (DESIGN.md §9/§10)",
+			buf.Len(), len(want), firstDiff(buf.Bytes(), want))
+	}
+
+	// The run must actually have published: the global cycle counter moved
+	// by exactly the run's cycle count.
+	if got := obs.Sim().Cycles.Value() - cyclesBefore; got != r.TotalCycles {
+		t.Errorf("published cycles = %d, run had %d", got, r.TotalCycles)
+	}
+
+	// And the pipeline must have traced its phases on the direct track.
+	cats := map[string]bool{}
+	for _, ev := range tr.Events() {
+		cats[ev.Cat] = true
+	}
+	for _, want := range []string{"build", "boot", "simulate", "estimate"} {
+		if !cats[want] {
+			t.Errorf("trace has no %q span; categories seen: %v", want, cats)
+		}
+	}
+}
+
+// TestBatchTraceWorkerTracks checks that batch cells land on per-worker
+// trace tracks (tid >= 1) with cell spans wrapping the pipeline phases.
+func TestBatchTraceWorkerTracks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test skipped in -short mode")
+	}
+	tr := obs.NewTracer()
+	obs.SetTracer(tr)
+	defer obs.SetTracer(nil)
+
+	_, err := RunBatch([]RunSpec{
+		{Benchmark: "compress", Options: Options{Core: "mipsy"}, Label: "a"},
+		{Benchmark: "compress", Options: Options{Core: "mipsy"}, Label: "b"},
+	}, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := 0
+	for _, ev := range tr.Events() {
+		if ev.Cat == "cell" {
+			cells++
+			if ev.TID < 1 {
+				t.Errorf("cell span %q on tid %d, want a worker track >= 1", ev.Name, ev.TID)
+			}
+		}
+	}
+	if cells != 2 {
+		t.Errorf("got %d cell spans, want 2", cells)
+	}
+}

@@ -94,9 +94,12 @@ func TestBatchProgress(t *testing.T) {
 	var labels []string
 	last := 0
 	_, err := SweepDiskConfigsBatch([]string{"compress"}, []string{"conventional", "idle"},
-		BatchOptions{Workers: 2, Progress: func(done, total int, label string) {
+		BatchOptions{Workers: 2, Progress: func(done, total int, label string, err error) {
 			if done != last+1 || total != 2 {
 				t.Errorf("progress (%d,%d) after %d", done, total, last)
+			}
+			if err != nil {
+				t.Errorf("progress reported error for %s: %v", label, err)
 			}
 			last = done
 			labels = append(labels, label)

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"softwatt/internal/core"
+	"softwatt/internal/obs"
 )
 
 // SaveResult serialises a complete run result to w in the version-2 log
@@ -146,9 +147,11 @@ func RunBatchCached(specs []RunSpec, dir string, b BatchOptions) ([]*RunResult, 
 		}
 		path := filepath.Join(dir, name)
 		if r, err := LoadResultFile(path); err == nil && ResultDigest(r) == digest {
+			obs.Batch().LogCacheHits.Inc()
 			results[i] = r
 			continue
 		}
+		obs.Batch().LogCacheMisses.Inc()
 		missIdx = append(missIdx, i)
 		missSpecs = append(missSpecs, sp)
 		missPaths = append(missPaths, path)

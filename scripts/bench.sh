@@ -12,9 +12,12 @@ out="${1:-BENCH_softwatt.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
+rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
 go test -run '^$' -bench 'BenchmarkSimulatorThroughput' -benchtime "${BENCHTIME:-5x}" . | tee "$raw"
 
-awk -v out="$out" '
+awk -v out="$out" -v rev="$rev" -v date="$date" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^goos:/ { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -31,6 +34,7 @@ awk -v out="$out" '
 }
 END {
     printf "{\n  \"benchmark\": \"SimulatorThroughput\",\n" > out
+    printf "  \"rev\": \"%s\",\n  \"date\": \"%s\",\n", rev, date > out
     printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", goos, goarch, cpu > out
     printf "  \"cores\": {" > out
     sep = ""

@@ -24,6 +24,7 @@ import (
 	"softwatt/internal/core"
 	"softwatt/internal/disk"
 	"softwatt/internal/machine"
+	"softwatt/internal/obs"
 	"softwatt/internal/power"
 	"softwatt/internal/runner"
 	"softwatt/internal/trace"
@@ -165,15 +166,29 @@ func (o Options) MachineConfig() (machine.Config, error) {
 
 // Run simulates one named benchmark to completion and returns its results.
 func Run(benchmark string, opt Options) (*RunResult, error) {
+	return run(benchmark, opt, 0)
+}
+
+// run is Run on an explicit trace track: tid 0 for direct calls, the
+// worker's track for batch cells. Each pipeline phase (workload build,
+// machine boot, simulation, estimation) is a span; with no tracer
+// installed every span is inert and the function is byte-for-byte the old
+// Run.
+func run(benchmark string, opt Options, tid int64) (*RunResult, error) {
 	cfg, err := opt.MachineConfig()
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan(tid, "build "+benchmark, "build")
 	w, err := workload.Build(benchmark)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = obs.StartSpan(tid, "boot "+benchmark, "boot")
+	sp.Arg("core", cfg.Core.String())
 	m, err := machine.New(cfg, w)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -181,14 +196,21 @@ func Run(benchmark string, opt Options) (*RunResult, error) {
 	// quantity measured online, so wire the power model in.
 	model := power.Default()
 	m.Collector().SetEnergyFn(model.InvocationEnergy)
-	if err := m.Run(0); err != nil {
+	sp = obs.StartSpan(tid, "simulate "+benchmark, "simulate")
+	sp.Arg("core", cfg.Core.String())
+	err = m.Run(0)
+	sp.Arg("cycles", fmt.Sprint(m.Cycle()))
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("softwatt: %s: %w (console: %q)", benchmark, err, m.Console())
 	}
 	if m.ExitCode() != 0 {
 		return nil, fmt.Errorf("softwatt: %s exited with code %d (console: %q)",
 			benchmark, m.ExitCode(), m.Console())
 	}
+	sp = obs.StartSpan(tid, "estimate "+benchmark, "estimate")
 	r := core.Collect(m, benchmark, cfg.Core.String())
+	sp.End()
 	// Collect copies everything out of the machine, so its 128 MB RAM can
 	// go back to the pool for the next run in this process.
 	m.Release()
@@ -204,9 +226,11 @@ type BatchOptions struct {
 	// order, as a serial run.
 	Workers int
 	// Progress, when non-nil, is called serially after each cell finishes
-	// with the number of finished cells so far, the total, and the
-	// finished cell's label (e.g. "jess/standby2").
-	Progress func(done, total int, label string)
+	// with the number of finished cells so far, the total, the finished
+	// cell's label (e.g. "jess/standby2"), and its error (nil on success)
+	// — so a CLI can print failing cells as they fail instead of at the
+	// end of the sweep.
+	Progress func(done, total int, label string, err error)
 	// OnResult, when non-nil, is called from the worker goroutine as soon
 	// as a cell's simulation succeeds, before the batch returns — this is
 	// how the CLIs write one run log per cell as the parallel engine
@@ -218,12 +242,7 @@ type BatchOptions struct {
 
 // runnerOptions adapts BatchOptions to the job engine.
 func (b BatchOptions) runnerOptions() runner.Options {
-	ro := runner.Options{Workers: b.Workers}
-	if b.Progress != nil {
-		p := b.Progress
-		ro.Progress = func(done, total int, label string, err error) { p(done, total, label) }
-	}
-	return ro
+	return runner.Options{Workers: b.Workers, Progress: b.Progress}
 }
 
 // BatchError aggregates the per-cell failures of a batch run, in input
@@ -281,22 +300,45 @@ type batchCell struct {
 
 // runBatch fans the cells out over the job engine. Results are in input
 // order; failed cells are nil and aggregated into a *BatchError.
+//
+// When a tracer is installed, each cell becomes a span on its worker's
+// track: the engine's OnStart hook records which worker picked the cell up
+// (the job body runs on that same goroutine, so the read needs no lock),
+// and the run pipeline's phase spans nest underneath. Worker tracks are
+// tid 1..Workers; tid 0 is the direct-call track.
 func runBatch(cells []batchCell, b BatchOptions) ([]*RunResult, error) {
+	workerOf := make([]int64, len(cells))
+	ro := b.runnerOptions()
+	if tr := obs.ActiveTracer(); tr != nil {
+		ro.OnStart = func(worker, index int, label string) {
+			tid := int64(worker) + 1
+			workerOf[index] = tid
+			tr.SetThreadName(tid, fmt.Sprintf("worker %d", worker))
+		}
+	}
 	jobs := make([]runner.Job[*RunResult], len(cells))
 	for i, c := range cells {
 		i, c := i, c
 		jobs[i] = runner.Job[*RunResult]{
 			Label: c.label,
 			Run: func() (*RunResult, error) {
-				r, err := Run(c.bench, c.opt)
+				tid := workerOf[i]
+				sp := obs.StartSpan(tid, c.label, "cell")
+				r, err := run(c.bench, c.opt, tid)
 				if err == nil && b.OnResult != nil {
+					ssp := obs.StartSpan(tid, "save "+c.label, "save")
 					err = b.OnResult(i, c.label, r)
+					ssp.End()
 				}
+				if err != nil {
+					sp.Arg("error", err.Error())
+				}
+				sp.End()
 				return r, err
 			},
 		}
 	}
-	return runner.Map(jobs, b.runnerOptions())
+	return runner.Map(jobs, ro)
 }
 
 // RunAll simulates every benchmark with the same options, one simulation
@@ -402,38 +444,36 @@ func SweepDiskConfigsBatch(benchmarks, policies []string, b BatchOptions) ([]Fig
 	if err := validatePolicies(policies); err != nil {
 		return nil, err
 	}
-	type cell struct {
-		bench, policy string
-	}
-	var cells []cell
+	var cells []batchCell
 	for _, bench := range benchmarks {
 		for _, pol := range policies {
-			cells = append(cells, cell{bench, pol})
+			cells = append(cells, batchCell{
+				label: bench + "/" + pol,
+				bench: bench,
+				opt:   Options{Core: "mipsy", DiskPolicy: pol},
+			})
 		}
 	}
-	jobs := make([]runner.Job[Fig9Row], len(cells))
-	for i, c := range cells {
-		c := c
-		jobs[i] = runner.Job[Fig9Row]{
-			Label: c.bench + "/" + c.policy,
-			Run: func() (Fig9Row, error) {
-				r, err := Run(c.bench, Options{Core: "mipsy", DiskPolicy: c.policy})
-				if err != nil {
-					return Fig9Row{}, err
-				}
-				return Fig9Row{
-					Benchmark:  c.bench,
-					Policy:     c.policy,
-					DiskJ:      r.DiskEnergyJ,
-					IdleCycles: r.IdleCycles,
-					Spinups:    r.DiskStats.Spinups,
-					Spindowns:  r.DiskStats.Spindowns,
-					Cycles:     r.TotalCycles,
-				}, nil
-			},
+	// Sweeps ride the same batch pipeline as every other grid (cell spans,
+	// batch metrics, OnResult), then project each result onto its Figure 9
+	// row. Failed cells are nil results and stay zero-valued rows.
+	results, err := runBatch(cells, b)
+	rows := make([]Fig9Row, len(cells))
+	for i, r := range results {
+		if r == nil {
+			continue
+		}
+		rows[i] = Fig9Row{
+			Benchmark:  cells[i].bench,
+			Policy:     cells[i].opt.DiskPolicy,
+			DiskJ:      r.DiskEnergyJ,
+			IdleCycles: r.IdleCycles,
+			Spinups:    r.DiskStats.Spinups,
+			Spindowns:  r.DiskStats.Spindowns,
+			Cycles:     r.TotalCycles,
 		}
 	}
-	return runner.Map(jobs, b.runnerOptions())
+	return rows, err
 }
 
 // RenderFig9 renders sweep rows as the Figure 9 report.
