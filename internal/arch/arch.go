@@ -321,11 +321,20 @@ func (c *CPU) pendingInterrupt() bool {
 // interrupt) and returns its StepInfo. cycle is the timing model's current
 // cycle, exposed to software through the COUNT register.
 func (c *CPU) Step(cycle uint64) StepInfo {
-	info := StepInfo{PC: c.PC, KernelMode: !c.UserMode()}
+	var info StepInfo
+	c.StepInto(cycle, &info)
+	return info
+}
+
+// StepInto is Step writing its result through out, so hot callers that
+// store the StepInfo anyway avoid two ~100-byte copies per instruction.
+func (c *CPU) StepInto(cycle uint64, out *StepInfo) {
+	info := out
+	*info = StepInfo{PC: c.PC, KernelMode: !c.UserMode()}
 	if c.Halted {
 		info.Halted = true
 		info.NextPC = c.PC
-		return info
+		return
 	}
 	c.COP0[isa.C0Count] = uint32(cycle)
 
@@ -333,20 +342,20 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 	if c.pendingInterrupt() {
 		c.waiting = false
 		c.COP0[isa.C0Cause] = c.COP0[isa.C0Cause]&^0xFF00 | uint32(c.IP)<<isa.CauseIPShift
-		c.raise(&info, isa.ExcInt, 0, false)
+		c.raise(info, isa.ExcInt, 0, false)
 		info.Interrupt = true
-		return info
+		return
 	}
 	if c.waiting {
 		info.Waiting = true
 		info.NextPC = c.PC
-		return info
+		return
 	}
 
 	// Fetch.
 	if c.PC&3 != 0 {
-		c.raise(&info, isa.ExcAdEL, c.PC, false)
-		return info
+		c.raise(info, isa.ExcAdEL, c.PC, false)
+		return
 	}
 	ppc, xr, tlbed := c.translate(&c.iuTLB, c.PC, false)
 	if tlbed {
@@ -355,14 +364,14 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 	switch xr {
 	case xlatOK, xlatUncached:
 	case xlatMiss:
-		c.raise(&info, isa.ExcTLBL, c.PC, c.PC < isa.KUSEGTop)
-		return info
+		c.raise(info, isa.ExcTLBL, c.PC, c.PC < isa.KUSEGTop)
+		return
 	case xlatInvalid:
-		c.raise(&info, isa.ExcTLBL, c.PC, false)
-		return info
+		c.raise(info, isa.ExcTLBL, c.PC, false)
+		return
 	default:
-		c.raise(&info, isa.ExcAdEL, c.PC, false)
-		return info
+		c.raise(info, isa.ExcAdEL, c.PC, false)
+		return
 	}
 	info.PhysPC = ppc
 	info.Fetched = true
@@ -380,8 +389,8 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 	g := &c.GPR
 	switch in.Op {
 	case isa.OpInvalid:
-		c.raise(&info, isa.ExcRI, 0, false)
-		return info
+		c.raise(info, isa.ExcRI, 0, false)
+		return
 
 	case isa.OpSLL:
 		g[in.Rd] = g[in.Rt] << in.Shamt
@@ -408,11 +417,11 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 		nextPC = c.PC&0xF000_0000 | in.Target
 
 	case isa.OpSYSCALL:
-		c.raise(&info, isa.ExcSyscall, 0, false)
-		return info
+		c.raise(info, isa.ExcSyscall, 0, false)
+		return
 	case isa.OpBREAK:
-		c.raise(&info, isa.ExcBreak, 0, false)
-		return info
+		c.raise(info, isa.ExcBreak, 0, false)
+		return
 
 	case isa.OpMUL:
 		g[in.Rd] = uint32(int32(g[in.Rs]) * int32(g[in.Rt]))
@@ -459,17 +468,17 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 		g[in.Rd] = b2u(g[in.Rs] < g[in.Rt])
 
 	case isa.OpBLTZ:
-		c.branch(&info, &nextPC, int32(g[in.Rs]) < 0, in.Imm)
+		c.branch(info, &nextPC, int32(g[in.Rs]) < 0, in.Imm)
 	case isa.OpBGEZ:
-		c.branch(&info, &nextPC, int32(g[in.Rs]) >= 0, in.Imm)
+		c.branch(info, &nextPC, int32(g[in.Rs]) >= 0, in.Imm)
 	case isa.OpBEQ:
-		c.branch(&info, &nextPC, g[in.Rs] == g[in.Rt], in.Imm)
+		c.branch(info, &nextPC, g[in.Rs] == g[in.Rt], in.Imm)
 	case isa.OpBNE:
-		c.branch(&info, &nextPC, g[in.Rs] != g[in.Rt], in.Imm)
+		c.branch(info, &nextPC, g[in.Rs] != g[in.Rt], in.Imm)
 	case isa.OpBLEZ:
-		c.branch(&info, &nextPC, int32(g[in.Rs]) <= 0, in.Imm)
+		c.branch(info, &nextPC, int32(g[in.Rs]) <= 0, in.Imm)
 	case isa.OpBGTZ:
-		c.branch(&info, &nextPC, int32(g[in.Rs]) > 0, in.Imm)
+		c.branch(info, &nextPC, int32(g[in.Rs]) > 0, in.Imm)
 
 	case isa.OpADDI, isa.OpADDIU:
 		g[in.Rt] = g[in.Rs] + uint32(in.Imm)
@@ -488,8 +497,8 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 
 	case isa.OpMFC0:
 		if c.UserMode() {
-			c.raise(&info, isa.ExcRI, 0, false)
-			return info
+			c.raise(info, isa.ExcRI, 0, false)
+			return
 		}
 		if in.Rd == isa.C0Random {
 			g[in.Rt] = uint32(c.random)
@@ -498,8 +507,8 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 		}
 	case isa.OpMTC0:
 		if c.UserMode() {
-			c.raise(&info, isa.ExcRI, 0, false)
-			return info
+			c.raise(info, isa.ExcRI, 0, false)
+			return
 		}
 		c.COP0[in.Rd] = g[in.Rt]
 	case isa.OpTLBR:
@@ -525,16 +534,16 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 		}
 	case isa.OpERET:
 		if c.UserMode() {
-			c.raise(&info, isa.ExcRI, 0, false)
-			return info
+			c.raise(info, isa.ExcRI, 0, false)
+			return
 		}
 		c.COP0[isa.C0Status] &^= isa.StatusEXL
 		nextPC = c.COP0[isa.C0EPC]
 		c.llBit = false
 	case isa.OpWAIT:
 		if c.UserMode() {
-			c.raise(&info, isa.ExcRI, 0, false)
-			return info
+			c.raise(info, isa.ExcRI, 0, false)
+			return
 		}
 		c.waiting = true
 		info.Waiting = true
@@ -544,9 +553,9 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 	case isa.OpMTC1:
 		c.FPR[in.Rs] = f64frombits(uint64(g[in.Rt]))
 	case isa.OpBC1F:
-		c.branch(&info, &nextPC, !c.FCC, in.Imm)
+		c.branch(info, &nextPC, !c.FCC, in.Imm)
 	case isa.OpBC1T:
-		c.branch(&info, &nextPC, c.FCC, in.Imm)
+		c.branch(info, &nextPC, c.FCC, in.Imm)
 	case isa.OpFADD:
 		c.FPR[in.Rd] = c.FPR[in.Rs] + c.FPR[in.Rt]
 	case isa.OpFSUB:
@@ -579,8 +588,8 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 		c.FCC = c.FPR[in.Rs] <= c.FPR[in.Rt]
 
 	case isa.OpLB, isa.OpLH, isa.OpLW, isa.OpLBU, isa.OpLHU, isa.OpLL, isa.OpFLD:
-		if !c.dataAccess(&info, in, false) {
-			return info
+		if !c.dataAccess(info, in, false) {
+			return
 		}
 		v := c.bus.ReadPhys(info.MemPaddr, int(info.MemSize))
 		switch in.Op {
@@ -603,8 +612,8 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 		}
 
 	case isa.OpSB, isa.OpSH, isa.OpSW, isa.OpFSD:
-		if !c.dataAccess(&info, in, true) {
-			return info
+		if !c.dataAccess(info, in, true) {
+			return
 		}
 		var v uint64
 		switch in.Op {
@@ -621,8 +630,8 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 		c.pdInvalidateLine(info.MemPaddr)
 
 	case isa.OpSC:
-		if !c.dataAccess(&info, in, true) {
-			return info
+		if !c.dataAccess(info, in, true) {
+			return
 		}
 		if c.llBit && c.llAddr == info.MemPaddr {
 			c.bus.WritePhys(info.MemPaddr, 4, uint64(g[in.Rt]))
@@ -652,19 +661,19 @@ func (c *CPU) Step(cycle uint64) StepInfo {
 			info.CacheMapped = true
 			c.pdInvalidateLine(pa)
 		case xlatMiss:
-			c.raise(&info, isa.ExcTLBL, va, va < isa.KUSEGTop)
-			return info
+			c.raise(info, isa.ExcTLBL, va, va < isa.KUSEGTop)
+			return
 		}
 
 	default:
-		c.raise(&info, isa.ExcRI, 0, false)
-		return info
+		c.raise(info, isa.ExcRI, 0, false)
+		return
 	}
 
 	g[0] = 0
 	c.PC = nextPC
 	info.NextPC = nextPC
-	return info
+	return
 }
 
 // branch records a conditional branch outcome and updates nextPC.

@@ -69,7 +69,7 @@ func (c *Core) Tick(cycle uint64, commit func(*arch.StepInfo)) {
 		c.busy--
 		return
 	}
-	c.scratch = c.cpu.Step(cycle)
+	c.cpu.StepInto(cycle, &c.scratch)
 	info := &c.scratch
 	if info.Halted {
 		commit(info)

@@ -13,10 +13,19 @@
 // (COP0 ops, ERET, syscalls, LL/SC, CACHE) issue only from the head of the
 // window and flush on commit — this is why kernel code achieves a lower IPC
 // than user code here, the effect the paper measures in §3.2.
+//
+// Scheduling is event-driven (DESIGN.md §11): instead of scanning all 64
+// window entries every cycle, completion and issue eligibility are tracked
+// with (cycle, uid) min-heaps, operand readiness with producer→consumer
+// wakeup lists, and issue candidates with an age-ordered ready bitset. The
+// timing produced is bit-identical to the original per-cycle scans; the
+// golden logv2 harness (golden_test.go) and the scan-vs-event lockstep
+// test (refsched_test.go) enforce that.
 package mxs
 
 import (
 	"math"
+	"math/bits"
 
 	"softwatt/internal/arch"
 	"softwatt/internal/isa"
@@ -83,23 +92,40 @@ type robEnt struct {
 
 	state      entState
 	seq        uint64 // global dispatch sequence number
+	uid        uint64 // monotone dispatch id; 0 = squashed (seqs are reused, uids never)
 	issueAt    uint64 // earliest issue cycle (frontend depth + I-miss delay)
 	doneAt     uint64
 	predNext   uint32
 	isMem      bool
 	isStore    bool
-	redirected bool // fetch was already redirected for this entry
+	serial     bool      // serializing, computed once at dispatch
+	redirected bool      // fetch was already redirected for this entry
+	pendSrc    int8      // outstanding (uncompleted, in-window) producers
+	class      isa.Class // decode info cached at dispatch: Info() is a struct
+	lat        uint8     // copy per call, too hot for writeback/issue/commit
 
 	uses   [4]uint8
 	srcSeq [4]uint64 // producing entry's seq per source (0 = architecturally ready)
 	nUses  int
 	nDefs  int
 	defs   [2]uint8
+
+	// prevProd saves, per def, the regProducer value this entry replaced
+	// at dispatch, so squash can unwind the rename map in O(squashed)
+	// instead of rebuilding it from all survivors.
+	prevProd [2]uint64
 }
 
 type btbEnt struct {
 	tag    uint32
 	target uint32
+}
+
+// wakeRef subscribes a consumer entry (by slot, validated by uid) to a
+// producer's completion.
+type wakeRef struct {
+	uid  uint64
+	slot int32
 }
 
 // Core is the MXS timing model.
@@ -122,6 +148,9 @@ type Core struct {
 	halted        bool
 
 	lsqCount int
+	// realStores counts in-window real stores so the store-forwarding scan
+	// can be skipped entirely when no store could possibly match.
+	realStores int
 
 	// serialInFlight counts real serializing entries in the window; fetch
 	// stalls while one is pending, as R10000 COP0 serialization stalls the
@@ -129,15 +158,31 @@ type Core struct {
 	serialInFlight int
 
 	// Rename map: the dispatch sequence number of the latest in-flight
-	// writer of each dependency register (0 = value is architectural).
+	// writer of each dependency register. A value < headSeq (committed or
+	// unwound producer) means the value is architectural.
 	regProducer [isa.NumDepRegs]uint64
 	nextSeq     uint64 // next dispatch sequence number (starts at 1)
 	headSeq     uint64 // seq of the entry at window position 0
+	nextUID     uint64 // monotone dispatch uid source (never rewound)
+
+	// Event structures (see DESIGN.md §11). All reference entries by
+	// physical slot + uid; squash invalidates by zeroing the entry's uid
+	// and stale references are discarded lazily.
+	ready       slotBits    // waiting entries with no pending sources, issueAt reached
+	compQ       eventHeap   // (doneAt, uid): issued entries awaiting completion
+	issueQ      eventHeap   // (issueAt, uid): operand-ready entries in the front-end shadow
+	wake        [][]wakeRef // per producer slot: consumers to notify at completion
+	serialSlots []int32     // slots of waiting serializing entries (issue-block scan)
 
 	bht    []uint8
 	btb    []btbEnt
 	ras    []uint32
 	rasTop int
+	// Index masks for the predictor tables when their sizes are powers of
+	// two (the common case); zero means "use modulo" (tiny test configs).
+	bhtMask uint32
+	btbMask uint32
+	rasMask int
 
 	divBusyUntil   uint64
 	fpDivBusyUntil uint64
@@ -148,9 +193,9 @@ type Core struct {
 	Mispredicts uint64
 	Flushes     uint64 // serializing/exception flushes
 
-	// pend batches this tick's structure-access counts; it flushes to the
-	// collector before every commit (commit can move the attribution
-	// context) and at the end of the tick, so every count lands in the
+	// pend batches structure-access counts across ticks. The collector
+	// pulls it (SetDrain) right before any attribution-context move,
+	// window flush, or totals read, so every count still lands in the
 	// same bucket an immediate AddUnit would have used.
 	pend      trace.UnitCounts
 	pendDirty bool
@@ -165,22 +210,37 @@ type Core struct {
 // wrong-path instruction reads (normally the same bus the CPU sees).
 func New(cpu *arch.CPU, h *mem.Hierarchy, col *trace.Collector, bus arch.Bus, cfg Config) *Core {
 	c := &Core{
-		cfg: cfg,
-		cpu: cpu,
-		h:   h,
-		col: col,
-		bus: bus,
-		rob: make([]robEnt, cfg.WindowSize),
-		bht: make([]uint8, cfg.BHTSize),
-		btb: make([]btbEnt, cfg.BTBSize),
-		ras: make([]uint32, cfg.RASSize),
+		cfg:   cfg,
+		cpu:   cpu,
+		h:     h,
+		col:   col,
+		bus:   bus,
+		rob:   make([]robEnt, cfg.WindowSize),
+		ready: newSlotBits(cfg.WindowSize),
+		wake:  make([][]wakeRef, cfg.WindowSize),
+		bht:   make([]uint8, cfg.BHTSize),
+		btb:   make([]btbEnt, cfg.BTBSize),
+		ras:   make([]uint32, cfg.RASSize),
 	}
 	for i := range c.bht {
 		c.bht[i] = 1 // weakly not-taken
 	}
+	if p2(cfg.BHTSize) {
+		c.bhtMask = uint32(cfg.BHTSize - 1)
+	}
+	if p2(cfg.BTBSize) {
+		c.btbMask = uint32(cfg.BTBSize - 1)
+	}
+	if p2(cfg.RASSize) {
+		c.rasMask = cfg.RASSize - 1
+	}
 	c.fetchPC = cpu.PC
 	c.nextSeq = 1
 	c.headSeq = 1
+	// The collector pulls the batched unit counts whenever attribution
+	// placement matters (context move, window flush, totals read), so the
+	// hot path never flushes eagerly.
+	col.SetDrain(c.flushUnits)
 	return c
 }
 
@@ -188,17 +248,25 @@ func New(cpu *arch.CPU, h *mem.Hierarchy, col *trace.Collector, bus arch.Bus, cf
 func (c *Core) CPU() *arch.CPU { return c.cpu }
 
 // Counters implements the machine's telemetry hook with the speculative
-// pipeline's statistics.
+// pipeline's statistics plus instantaneous occupancy samples.
 func (c *Core) Counters() obs.CoreCounters {
 	return obs.CoreCounters{
 		Committed:   c.Committed,
 		Mispredicts: c.Mispredicts,
 		Flushes:     c.Flushes,
 		WrongPath:   c.Bogus,
+		WindowOcc:   uint64(c.count),
+		ReadyDepth:  uint64(c.ready.count()),
 	}
 }
 
-func (c *Core) at(i int) *robEnt { return &c.rob[(c.head+i)%c.cfg.WindowSize] }
+func (c *Core) at(i int) *robEnt {
+	s := c.head + i
+	if s >= c.cfg.WindowSize {
+		s -= c.cfg.WindowSize
+	}
+	return &c.rob[s]
+}
 
 // Tick advances one cycle.
 func (c *Core) Tick(cycle uint64, commit func(*arch.StepInfo)) {
@@ -209,7 +277,71 @@ func (c *Core) Tick(cycle uint64, commit func(*arch.StepInfo)) {
 	c.commitStage(cycle, commit)
 	c.issue(cycle)
 	c.fetch(cycle, commit)
-	c.flushUnits()
+}
+
+// NextEvent reports the earliest cycle >= cycle at which the core can make
+// progress: `cycle` itself when commit, issue, or fetch has work now,
+// otherwise the nearest completion/issue-eligibility/fetch-restart event,
+// or never when the core is fully idle (sleeping with an empty window).
+// The machine's run loop uses this to skip the clock over guaranteed
+// no-op cycles (DESIGN.md §11).
+func (c *Core) NextEvent(cycle uint64) uint64 {
+	if c.halted {
+		return never
+	}
+	if c.count > 0 && c.rob[c.head].state == stDone {
+		return cycle // commit has work
+	}
+	if !c.ready.empty() {
+		return cycle // issue has candidates (possibly FU-bound: retry each cycle)
+	}
+	fetchOpen := !c.sleep && !c.fetchStalled && c.serialInFlight == 0 &&
+		c.count != c.cfg.WindowSize
+	if fetchOpen && cycle >= c.fetchResumeAt {
+		return cycle // fetch will run
+	}
+	next := uint64(never)
+	if t, ok := c.peekComp(); ok && t < next {
+		next = t
+	}
+	if t, ok := c.peekIssue(); ok && t < next {
+		next = t
+	}
+	if fetchOpen && c.fetchResumeAt < next {
+		next = c.fetchResumeAt // blocked only on the trap-vectoring delay
+	}
+	return next
+}
+
+// Idle reports deep sleep: WAIT committed and the window fully drained.
+// Nothing can happen until an external interrupt.
+func (c *Core) Idle() bool { return c.sleep && c.count == 0 && !c.halted }
+
+// peekComp returns the earliest live completion event, lazily discarding
+// references whose entries were squashed since they issued.
+func (c *Core) peekComp() (uint64, bool) {
+	for c.compQ.len() > 0 {
+		ev := &c.compQ.h[0]
+		e := &c.rob[ev.slot]
+		if e.uid == ev.uid && e.state == stIssued {
+			return ev.at, true
+		}
+		c.compQ.pop()
+	}
+	return 0, false
+}
+
+// peekIssue returns the earliest live issue-eligibility event.
+func (c *Core) peekIssue() (uint64, bool) {
+	for c.issueQ.len() > 0 {
+		ev := &c.issueQ.h[0]
+		e := &c.rob[ev.slot]
+		if e.uid == ev.uid && e.state == stWaiting && e.pendSrc == 0 {
+			return ev.at, true
+		}
+		c.issueQ.pop()
+	}
+	return 0, false
 }
 
 // addUnit batches one structure access into the tick-local vector.
@@ -219,7 +351,8 @@ func (c *Core) addUnit(u trace.Unit, n uint64) {
 }
 
 // flushUnits hands the batched counts to the collector in the current
-// attribution context. Must run before any commit call.
+// attribution context. Registered as the collector's drain; never called
+// directly on the hot path.
 func (c *Core) flushUnits() {
 	if c.pendDirty {
 		c.col.AddUnits(&c.pend)
@@ -232,29 +365,58 @@ func (c *Core) flushUnits() {
 // Writeback: complete executing instructions; resolve branches.
 // ---------------------------------------------------------------------------
 
+// writeback pops completion events due this cycle. Every latency is >= 1,
+// so due events carry doneAt == cycle exactly and the (doneAt, uid) heap
+// order equals age order — the order the old full-window scan used, which
+// matters because a resolved mispredict squashes everything younger and
+// stops the stage.
 func (c *Core) writeback(cycle uint64) {
-	for i := 0; i < c.count; i++ {
-		e := c.at(i)
-		if e.state != stIssued || e.doneAt > cycle {
-			continue
+	for c.compQ.len() > 0 && c.compQ.h[0].at <= cycle {
+		ev := c.compQ.pop()
+		e := &c.rob[ev.slot]
+		if e.uid != ev.uid || e.state != stIssued {
+			continue // squashed since it issued
 		}
 		e.state = stDone
+		c.wakeConsumers(int(ev.slot), cycle)
 		if e.real && e.nDefs > 0 {
 			c.addUnit(trace.UnitRegWrite, uint64(e.nDefs))
 			c.addUnit(trace.UnitResultBus, uint64(e.nDefs))
 		}
 		// Branch/jump resolution: redirect as soon as the target is known.
 		if e.real && !e.info.TookException {
-			cl := e.inst.Info().Class
-			if (cl == isa.ClassBranch || cl == isa.ClassJump) && e.predNext != e.info.NextPC {
+			if (e.class == isa.ClassBranch || e.class == isa.ClassJump) && e.predNext != e.info.NextPC {
 				c.Mispredicts++
 				e.redirected = true
-				c.squashAfter(i, cycle)
+				c.squashAfter(int(e.seq - c.headSeq))
 				c.redirect(e.info.NextPC)
-				return // indices past i are gone
+				return // everything younger is gone (including due events)
 			}
 		}
 	}
+}
+
+// wakeConsumers notifies every subscriber of the completed producer in
+// `slot`: the last outstanding source arriving moves the consumer to the
+// ready set (or to the issue-eligibility heap while its front-end delay
+// still runs).
+func (c *Core) wakeConsumers(slot int, cycle uint64) {
+	refs := c.wake[slot]
+	for _, r := range refs {
+		t := &c.rob[r.slot]
+		if t.uid != r.uid || t.state != stWaiting {
+			continue // consumer squashed since it subscribed
+		}
+		t.pendSrc--
+		if t.pendSrc == 0 {
+			if t.issueAt <= cycle {
+				c.ready.set(int(r.slot))
+			} else {
+				c.issueQ.push(schedEvent{at: t.issueAt, uid: t.uid, slot: r.slot})
+			}
+		}
+	}
+	c.wake[slot] = refs[:0]
 }
 
 // ---------------------------------------------------------------------------
@@ -279,7 +441,7 @@ func (c *Core) commitStage(cycle uint64, commit func(*arch.StepInfo)) {
 			c.addUnit(trace.UnitLSQ, 1)
 		}
 		// Predictor training.
-		if e.inst.IsBranch() {
+		if e.class == isa.ClassBranch {
 			c.addUnit(trace.UnitBpred, 1)
 			c.trainBranch(e.pc, e.info.BranchTaken)
 		} else if e.inst.Op == isa.OpJR || e.inst.Op == isa.OpJALR {
@@ -289,18 +451,23 @@ func (c *Core) commitStage(cycle uint64, commit func(*arch.StepInfo)) {
 			c.Committed++
 			c.col.AddInst(1)
 		}
-		c.flushUnits() // commit may move the attribution context
-		commit(&e.info)
-		if isSerial(e) {
+		commit(&e.info) // a context move here pulls the batch first
+		if e.serial {
 			c.serialInFlight--
 		}
 		needRedirect := e.predNext != e.info.NextPC && !e.redirected
-		isMem := e.isMem
-		c.head = (c.head + 1) % c.cfg.WindowSize
+		isMem, isStore := e.isMem, e.isStore
+		c.head++
+		if c.head == c.cfg.WindowSize {
+			c.head = 0
+		}
 		c.count--
 		c.headSeq++
 		if isMem {
 			c.lsqCount--
+			if isStore {
+				c.realStores-- // head entries are always real
+			}
 		}
 		if needRedirect {
 			// Exceptions, ERET, serializing flushes: squash everything
@@ -308,7 +475,7 @@ func (c *Core) commitStage(cycle uint64, commit func(*arch.StepInfo)) {
 			// vectoring additionally costs a privilege-switch delay before
 			// the front end restarts (R4000/R10000-like trap overhead).
 			c.Flushes++
-			c.squashAfter(-1, cycle)
+			c.squashAfter(-1)
 			c.redirect(e.info.NextPC)
 			if e.info.TookException {
 				c.fetchResumeAt = cycle + trapEnterPenalty
@@ -325,117 +492,163 @@ func (c *Core) commitStage(cycle uint64, commit func(*arch.StepInfo)) {
 // ---------------------------------------------------------------------------
 
 func (c *Core) issue(cycle uint64) {
+	// Admit entries whose front-end delay has elapsed into the ready set.
+	for c.issueQ.len() > 0 && c.issueQ.h[0].at <= cycle {
+		ev := c.issueQ.pop()
+		e := &c.rob[ev.slot]
+		if e.uid != ev.uid || e.state != stWaiting || e.pendSrc != 0 {
+			continue
+		}
+		c.ready.set(int(ev.slot))
+	}
+	if c.ready.empty() {
+		return
+	}
+	// A waiting serializing entry with its front-end delay elapsed blocks
+	// every younger candidate (it must issue from the head, alone). The
+	// head itself is exempt: a serializing entry at position 0 that is not
+	// yet operand-ready never held younger entries back in the scan-based
+	// scheduler either.
+	blockSeq := uint64(never)
+	for _, s := range c.serialSlots {
+		e := &c.rob[s]
+		if e.state != stWaiting || e.issueAt > cycle || e.seq == c.headSeq {
+			continue
+		}
+		if e.seq < blockSeq {
+			blockSeq = e.seq
+		}
+	}
 	intFree, fpFree := c.cfg.IntUnits, c.cfg.FPUnits
 	issued := 0
-	for i := 0; i < c.count && issued < c.cfg.IssueWidth; i++ {
-		e := c.at(i)
-		if e.state != stWaiting || e.issueAt > cycle {
-			continue
+	// Visit ready slots in age order: the live entries occupy the circular
+	// slot range [head, head+count), so ascending slots from head (wrapping
+	// once) is ascending seq. Each 64-slot word is visited via a snapshot
+	// mask (issuing only clears bits already consumed from the mask).
+	for pass := 0; pass < 2; pass++ {
+		lo, hi := c.head, c.cfg.WindowSize
+		if pass == 1 {
+			lo, hi = 0, c.head
 		}
-		inf := e.inst.Info()
-		serial := isSerial(e)
-		if serial {
-			// Serializing work issues only from the head of the window,
-			// alone, with everything older retired — and it holds back
-			// every younger instruction until it completes, as COP0 ops
-			// do on a real R10000.
-			if i != 0 || issued != 0 {
-				break
+		for wi := lo >> 6; wi<<6 < hi; wi++ {
+			base := wi << 6
+			m := c.ready.w[wi]
+			if base < lo {
+				m &= ^uint64(0) << uint(lo-base)
 			}
-		}
-		ready := true
-		for u := 0; u < e.nUses; u++ {
-			s := e.srcSeq[u]
-			if s < c.headSeq {
-				continue // producer committed (or none): value architectural
+			if hi-base < 64 {
+				m &= 1<<uint(hi-base) - 1
 			}
-			p := c.at(int(s - c.headSeq))
-			if p.state != stDone || p.doneAt > cycle {
-				ready = false
-				break
-			}
-		}
-		if !ready {
-			continue
-		}
-		// Functional unit binding.
-		lat := inf.Latency
-		switch inf.Class {
-		case isa.ClassFP:
-			if fpFree == 0 {
-				continue
-			}
-			fpFree--
-			c.countFU(e, trace.UnitFPU)
-		case isa.ClassFPDiv:
-			if fpFree == 0 || c.fpDivBusyUntil > cycle {
-				continue
-			}
-			fpFree--
-			c.fpDivBusyUntil = cycle + uint64(lat)
-			c.countFU(e, trace.UnitFPU)
-		case isa.ClassDiv:
-			if intFree == 0 || c.divBusyUntil > cycle {
-				continue
-			}
-			intFree--
-			c.divBusyUntil = cycle + uint64(lat)
-			c.countFU(e, trace.UnitMul)
-		case isa.ClassMul:
-			if intFree == 0 {
-				continue
-			}
-			intFree--
-			c.countFU(e, trace.UnitMul)
-		default:
-			if intFree == 0 {
-				continue
-			}
-			intFree--
-			c.countFU(e, trace.UnitALU)
-		}
-		issued++
-		e.state = stIssued
-		if e.real {
-			c.addUnit(trace.UnitWindow, 1) // wakeup + select
-			if e.nUses > 0 {
-				c.addUnit(trace.UnitRegRead, uint64(e.nUses))
-			}
-		}
+			for ; m != 0; m &= m - 1 {
+				slot := base + bits.TrailingZeros64(m)
+				if issued == c.cfg.IssueWidth {
+					return
+				}
+				e := &c.rob[slot]
+				if e.seq >= blockSeq {
+					return // held back by an older serializing entry
+				}
+				if e.serial && (e.seq != c.headSeq || issued != 0) {
+					return // serializing work issues only from the head, alone
+				}
+				// Functional unit binding.
+				lat := int(e.lat)
+				switch e.class {
+				case isa.ClassFP:
+					if fpFree == 0 {
+						continue
+					}
+					fpFree--
+					c.countFU(e, trace.UnitFPU)
+				case isa.ClassFPDiv:
+					if fpFree == 0 || c.fpDivBusyUntil > cycle {
+						continue
+					}
+					fpFree--
+					c.fpDivBusyUntil = cycle + uint64(lat)
+					c.countFU(e, trace.UnitFPU)
+				case isa.ClassDiv:
+					if intFree == 0 || c.divBusyUntil > cycle {
+						continue
+					}
+					intFree--
+					c.divBusyUntil = cycle + uint64(lat)
+					c.countFU(e, trace.UnitMul)
+				case isa.ClassMul:
+					if intFree == 0 {
+						continue
+					}
+					intFree--
+					c.countFU(e, trace.UnitMul)
+				default:
+					if intFree == 0 {
+						continue
+					}
+					intFree--
+					c.countFU(e, trace.UnitALU)
+				}
+				issued++
+				e.state = stIssued
+				c.ready.clear(slot)
+				if e.serial {
+					c.serialSlotsRemove(int32(slot))
+				}
+				if e.real {
+					c.addUnit(trace.UnitWindow, 1) // wakeup + select
+					if e.nUses > 0 {
+						c.addUnit(trace.UnitRegRead, uint64(e.nUses))
+					}
+				}
 
-		switch {
-		case e.isMem && e.isStore:
-			// Address generation; the cache write happens at commit.
-			if e.real {
-				c.addUnit(trace.UnitLSQ, 1)
+				switch {
+				case e.isMem && e.isStore:
+					// Address generation; the cache write happens at commit.
+					if e.real {
+						c.addUnit(trace.UnitLSQ, 1)
+					}
+					e.doneAt = cycle + 1
+				case e.isMem:
+					if e.real {
+						c.addUnit(trace.UnitLSQ, 1)
+					}
+					if !e.real {
+						e.doneAt = cycle + 1 // wrong-path load: no data access
+						break
+					}
+					if e.info.MemUncached {
+						ulat, _ := c.h.Uncached()
+						e.doneAt = cycle + uint64(ulat)
+						break
+					}
+					if c.forwardedFromStore(int(e.seq-c.headSeq), e.info.MemPaddr) {
+						e.doneAt = cycle + 1
+						break
+					}
+					dlat, acc := c.h.Data(e.info.MemPaddr, false)
+					c.countMem(acc)
+					e.doneAt = cycle + uint64(dlat)
+				case e.real && e.inst.Op == isa.OpCACHE && e.info.CacheMapped:
+					flat, facc := c.h.FlushLine(e.info.CachePaddr)
+					c.countMem(facc)
+					e.doneAt = cycle + uint64(flat)
+				default:
+					e.doneAt = cycle + uint64(lat)
+				}
+				if e.doneAt <= cycle {
+					e.doneAt = cycle + 1 // defensive: writeback assumes future completions
+				}
+				c.compQ.push(schedEvent{at: e.doneAt, uid: e.uid, slot: int32(slot)})
 			}
-			e.doneAt = cycle + 1
-		case e.isMem:
-			if e.real {
-				c.addUnit(trace.UnitLSQ, 1)
-			}
-			if !e.real {
-				e.doneAt = cycle + 1 // wrong-path load: no data access
-				break
-			}
-			if e.info.MemUncached {
-				ulat, _ := c.h.Uncached()
-				e.doneAt = cycle + uint64(ulat)
-				break
-			}
-			if c.forwardedFromStore(i, e.info.MemPaddr) {
-				e.doneAt = cycle + 1
-				break
-			}
-			dlat, acc := c.h.Data(e.info.MemPaddr, false)
-			c.countMem(acc)
-			e.doneAt = cycle + uint64(dlat)
-		case e.real && e.inst.Op == isa.OpCACHE && e.info.CacheMapped:
-			flat, facc := c.h.FlushLine(e.info.CachePaddr)
-			c.countMem(facc)
-			e.doneAt = cycle + uint64(flat)
-		default:
-			e.doneAt = cycle + uint64(lat)
+		}
+	}
+}
+
+// serialSlotsRemove drops one slot from the waiting-serial list.
+func (c *Core) serialSlotsRemove(slot int32) {
+	for i, s := range c.serialSlots {
+		if s == slot {
+			c.serialSlots = append(c.serialSlots[:i], c.serialSlots[i+1:]...)
+			return
 		}
 	}
 }
@@ -443,6 +656,9 @@ func (c *Core) issue(cycle uint64) {
 // forwardedFromStore reports whether an older in-flight store to the same
 // word can forward to the load at window position idx.
 func (c *Core) forwardedFromStore(idx int, paddr uint32) bool {
+	if c.realStores == 0 {
+		return false // no store in the window: nothing to search
+	}
 	for i := idx - 1; i >= 0; i-- {
 		e := c.at(i)
 		if e.isStore && e.real && e.info.Mem == arch.MemStore &&
@@ -463,11 +679,7 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 		if c.count > 0 {
 			return // drain before sleeping
 		}
-		// Step can move the attribution context (an MMIO store inside the
-		// instruction); flush the batch under the context its counts accrued
-		// in, exactly as the unbatched AddUnit calls did.
-		c.flushUnits()
-		c.scratch = c.cpu.Step(cycle)
+		c.cpu.StepInto(cycle, &c.scratch)
 		info := &c.scratch
 		commit(info)
 		if info.Halted {
@@ -489,15 +701,27 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 		if c.count == c.cfg.WindowSize {
 			return
 		}
+		// Dispatch in place: the tail slot is dead (not in [head, head+count))
+		// so building the entry there avoids a 200-byte zero+copy per
+		// instruction. Every field a stale occupant could leak through is
+		// reassigned below; fields read only for real entries (info, and
+		// anything derived from it) are guarded by e.real at every use.
+		slot := c.head + c.count
+		if slot >= c.cfg.WindowSize {
+			slot -= c.cfg.WindowSize
+		}
+		e := &c.rob[slot]
 		real := !c.wrongPath && c.fetchPC == c.cpu.PC
-		var e robEnt
 		e.pc = c.fetchPC
 		e.issueAt = cycle + uint64(c.cfg.FrontDepth)
+		e.real = real
+		e.state = stWaiting
+		e.redirected = false
+		e.pendSrc = 0
 
 		if real {
-			c.flushUnits() // Step may move the attribution context (MMIO store)
-			c.scratch = c.cpu.Step(cycle)
-			info := &c.scratch
+			c.cpu.StepInto(cycle, &e.info)
+			info := &e.info
 			if info.Halted {
 				commit(info)
 				c.halted = true
@@ -506,8 +730,6 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 			if info.Waiting {
 				c.sleep = true
 			}
-			e.real = true
-			e.info = *info
 			e.inst = info.Inst
 			if info.TLBLookups > 0 {
 				c.addUnit(trace.UnitTLB, uint64(info.TLBLookups))
@@ -535,16 +757,17 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 			e.inst = c.decodeWrongPath(paddr)
 		}
 
+		e.class = e.inst.Class()
+		e.lat = e.inst.Latency()
 		if e.real {
 			c.addUnit(trace.UnitRename, 1)
 		}
-		e.nUses = len(e.inst.Uses(e.uses[:0]))
-		e.nDefs = len(e.inst.Defs(e.defs[:0]))
+		e.nUses, e.nDefs = e.inst.Deps(&e.uses, &e.defs)
 		for u := 0; u < e.nUses; u++ {
 			e.srcSeq[u] = c.regProducer[e.uses[u]] // rename: capture producers
 		}
-		e.isMem = e.inst.IsLoad() || e.inst.IsStore()
-		e.isStore = e.inst.IsStore()
+		e.isMem = e.class == isa.ClassLoad || e.class == isa.ClassStore
+		e.isStore = e.class == isa.ClassStore
 		if e.isMem {
 			if c.lsqCount == c.cfg.LSQSize {
 				// LSQ full: undo nothing, just stop fetching this cycle.
@@ -558,26 +781,65 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 				}
 			}
 			c.lsqCount++
+			if e.isStore && e.real {
+				c.realStores++
+			}
 		}
 
-		// Next fetch PC via prediction.
-		e.predNext = c.predictNext(e.pc, e.inst, e.real, &e.info)
+		// Next fetch PC via prediction. Non-control instructions always
+		// predict fall-through (predictNext's default), so the call — and
+		// its trap check — is gated to the control classes only.
+		if e.class == isa.ClassBranch || e.class == isa.ClassJump {
+			e.predNext = c.predictNext(e.pc, e.inst, e.class, e.real, &e.info)
+		} else {
+			e.predNext = e.pc + 4
+		}
 		c.fetchPC = e.predNext
 		if e.real && e.predNext != e.info.NextPC {
 			c.wrongPath = true
 		}
 
-		// Rename: this entry becomes the latest writer of its defs.
+		// Rename: this entry becomes the latest writer of its defs; the
+		// displaced producers are saved for squash's O(squashed) unwind.
 		e.seq = c.nextSeq
 		c.nextSeq++
+		c.nextUID++
+		e.uid = c.nextUID
 		for d := 0; d < e.nDefs; d++ {
+			e.prevProd[d] = c.regProducer[e.defs[d]]
 			c.regProducer[e.defs[d]] = e.seq
 		}
 
-		if isSerial(&e) {
+		e.serial = e.real && (e.inst.Serializing() || e.info.TookException ||
+			e.info.MemUncached || e.info.Waiting || e.info.Halted)
+		if e.serial {
 			c.serialInFlight++
 		}
-		*c.at(c.count) = e
+		// Wakeup subscription: count outstanding in-window producers and
+		// register with each; an entry with none outstanding waits only
+		// for its front-end delay (issueAt is in the future at dispatch).
+		c.wake[slot] = c.wake[slot][:0]
+		for u := 0; u < e.nUses; u++ {
+			s := e.srcSeq[u]
+			if s < c.headSeq {
+				continue // producer committed (or none): value architectural
+			}
+			ps := c.head + int(s-c.headSeq)
+			if ps >= c.cfg.WindowSize {
+				ps -= c.cfg.WindowSize
+			}
+			if c.rob[ps].state == stDone {
+				continue // already completed: no wakeup coming
+			}
+			e.pendSrc++
+			c.wake[ps] = append(c.wake[ps], wakeRef{uid: e.uid, slot: int32(slot)})
+		}
+		if e.serial {
+			c.serialSlots = append(c.serialSlots, int32(slot))
+		}
+		if e.pendSrc == 0 {
+			c.issueQ.push(schedEvent{at: e.issueAt, uid: e.uid, slot: int32(slot)})
+		}
 		c.count++
 
 		if e.real && c.sleep {
@@ -591,16 +853,17 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 }
 
 // predictNext consults the branch predictors for the fetched instruction.
-func (c *Core) predictNext(pc uint32, in isa.Inst, real bool, info *arch.StepInfo) uint32 {
+// cl is the instruction's cached class; info is read only when real.
+func (c *Core) predictNext(pc uint32, in isa.Inst, cl isa.Class, real bool, info *arch.StepInfo) uint32 {
 	if real && info.TookException {
 		return pc + 4 // traps are never predicted
 	}
-	switch in.Info().Class {
+	switch cl {
 	case isa.ClassBranch:
 		if real {
 			c.addUnit(trace.UnitBpred, 1)
 		}
-		if c.bht[(pc>>2)%uint32(c.cfg.BHTSize)] >= 2 {
+		if c.bht[c.bhtIdx(pc)] >= 2 {
 			return isa.BranchTarget(pc, in.Imm)
 		}
 		return pc + 4
@@ -627,8 +890,34 @@ func (c *Core) predictNext(pc uint32, in isa.Inst, real bool, info *arch.StepInf
 	return pc + 4
 }
 
+// p2 reports whether n is a positive power of two.
+func p2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Table index helpers: mask when the size is a power of two (identical to
+// modulo there), modulo otherwise.
+func (c *Core) bhtIdx(pc uint32) uint32 {
+	if c.bhtMask != 0 {
+		return (pc >> 2) & c.bhtMask
+	}
+	return (pc >> 2) % uint32(c.cfg.BHTSize)
+}
+
+func (c *Core) btbIdx(pc uint32) uint32 {
+	if c.btbMask != 0 {
+		return (pc >> 2) & c.btbMask
+	}
+	return (pc >> 2) % uint32(c.cfg.BTBSize)
+}
+
+func (c *Core) rasIdx(top int) int {
+	if c.rasMask != 0 {
+		return top & c.rasMask
+	}
+	return top % c.cfg.RASSize
+}
+
 func (c *Core) btbLookup(pc uint32) uint32 {
-	e := &c.btb[(pc>>2)%uint32(c.cfg.BTBSize)]
+	e := &c.btb[c.btbIdx(pc)]
 	if e.tag == pc && e.target != 0 {
 		return e.target
 	}
@@ -636,7 +925,7 @@ func (c *Core) btbLookup(pc uint32) uint32 {
 }
 
 func (c *Core) rasPush(v uint32) {
-	c.ras[c.rasTop%c.cfg.RASSize] = v
+	c.ras[c.rasIdx(c.rasTop)] = v
 	c.rasTop++
 }
 
@@ -645,11 +934,11 @@ func (c *Core) rasPop() uint32 {
 		return 0 // forces a mispredict-style redirect
 	}
 	c.rasTop--
-	return c.ras[c.rasTop%c.cfg.RASSize]
+	return c.ras[c.rasIdx(c.rasTop)]
 }
 
 func (c *Core) trainBranch(pc uint32, taken bool) {
-	ctr := &c.bht[(pc>>2)%uint32(c.cfg.BHTSize)]
+	ctr := &c.bht[c.bhtIdx(pc)]
 	if taken {
 		if *ctr < 3 {
 			*ctr++
@@ -660,7 +949,7 @@ func (c *Core) trainBranch(pc uint32, taken bool) {
 }
 
 func (c *Core) trainBTB(pc, target uint32) {
-	c.btb[(pc>>2)%uint32(c.cfg.BTBSize)] = btbEnt{tag: pc, target: target}
+	c.btb[c.btbIdx(pc)] = btbEnt{tag: pc, target: target}
 }
 
 // translateFetch maps a wrong-path fetch PC, counting the TLB probe.
@@ -686,12 +975,6 @@ func (c *Core) decodeWrongPath(paddr uint32) isa.Inst {
 		return isa.Decode(0)
 	}
 	return c.cpu.DecodeAt(paddr)
-}
-
-// isSerial reports whether a real entry serializes the pipeline.
-func isSerial(e *robEnt) bool {
-	return e.real && (e.inst.Info().Serializing || e.info.TookException ||
-		e.info.MemUncached || e.info.Waiting || e.info.Halted)
 }
 
 // countFU charges a functional-unit access for real-path work only;
@@ -723,32 +1006,48 @@ func (c *Core) countMem(acc mem.Accesses) {
 // ---------------------------------------------------------------------------
 
 // squashAfter removes every window entry younger than logical position
-// keep (-1 squashes everything) and rebuilds the rename map.
-func (c *Core) squashAfter(keep int, cycle uint64) {
-	for i := keep + 1; i < c.count; i++ {
-		e := c.at(i)
+// keep (-1 squashes everything). The walk is youngest-first so the rename
+// unwind restores each register's previous producer in reverse dispatch
+// order; by the time an entry is visited, every younger writer of its defs
+// has already been unwound, so regProducer[def] == e.seq whenever this
+// entry is still the visible producer. A restored value may name an
+// already-committed (or never-existing) producer — both mean
+// "architectural", exactly like the seq of any committed entry.
+func (c *Core) squashAfter(keep int) {
+	for i := c.count - 1; i > keep; i-- {
+		slot := c.head + i
+		if slot >= c.cfg.WindowSize {
+			slot -= c.cfg.WindowSize
+		}
+		e := &c.rob[slot]
 		if e.isMem {
 			c.lsqCount--
+			if e.isStore && e.real {
+				c.realStores--
+			}
 		}
+		if e.serial {
+			c.serialInFlight--
+		}
+		for d := e.nDefs - 1; d >= 0; d-- {
+			if c.regProducer[e.defs[d]] == e.seq {
+				c.regProducer[e.defs[d]] = e.prevProd[d]
+			}
+		}
+		c.ready.clear(slot)
+		c.wake[slot] = c.wake[slot][:0]
+		e.uid = 0 // invalidates this entry's heap/wakeup references lazily
 	}
 	c.count = keep + 1
 	c.nextSeq = c.headSeq + uint64(c.count)
-	c.serialInFlight = 0
-	for i := 0; i < c.count; i++ {
-		if isSerial(c.at(i)) {
-			c.serialInFlight++
+	if len(c.serialSlots) > 0 {
+		q := c.serialSlots[:0]
+		for _, s := range c.serialSlots {
+			if c.rob[s].uid != 0 {
+				q = append(q, s)
+			}
 		}
-	}
-	// Rebuild the rename map from surviving entries: committed values are
-	// architectural (0), surviving in-flight writers reclaim their regs.
-	for r := range c.regProducer {
-		c.regProducer[r] = 0
-	}
-	for i := 0; i < c.count; i++ {
-		e := c.at(i)
-		for d := 0; d < e.nDefs; d++ {
-			c.regProducer[e.defs[d]] = e.seq
-		}
+		c.serialSlots = q
 	}
 }
 

@@ -345,6 +345,32 @@ var opInfo = [opCount]Info{
 // InfoOf returns the static description of op.
 func InfoOf(op Op) Info { return opInfo[op] }
 
+// Dense per-op copies of opInfo's scheduler-hot fields. Info() copies a
+// 40-byte struct per call, which is too costly on per-instruction timing
+// paths; these are single-byte loads.
+var (
+	opClass  [opCount]Class
+	opLat    [opCount]uint8
+	opSerial [opCount]bool
+)
+
+func init() {
+	for op := range opInfo {
+		opClass[op] = opInfo[op].Class
+		opLat[op] = uint8(opInfo[op].Latency)
+		opSerial[op] = opInfo[op].Serializing
+	}
+}
+
+// Class returns the operation class of the instruction.
+func (in Inst) Class() Class { return opClass[in.Op] }
+
+// Latency returns the execute latency of the instruction in cycles.
+func (in Inst) Latency() uint8 { return opLat[in.Op] }
+
+// Serializing reports whether the operation serializes the pipeline.
+func (in Inst) Serializing() bool { return opSerial[in.Op] }
+
 // String returns the mnemonic of op.
 func (op Op) String() string { return opInfo[op].Name }
 
@@ -458,6 +484,204 @@ func (in Inst) Defs(dst []uint8) []uint8 {
 		fpr(in.Rt)
 	}
 	return dst
+}
+
+// Dependency recipes: Uses/Defs compressed into per-op selector pairs so
+// the per-instruction timing paths can expand them without closures or
+// append machinery. The tables are derived in init from the canonical
+// switches above (via probe instructions with distinct register numbers),
+// so the two representations can never diverge.
+const (
+	depSelNone uint8 = iota
+	depSelRs
+	depSelRt
+	depSelRd
+	depSelRA // constant RegRA (JAL link register)
+	depSelFRs
+	depSelFRt
+	depSelFRd
+	depSelFCC
+)
+
+var opUses, opDefs [opCount][2]uint8
+
+func init() {
+	sel := func(id uint8) uint8 {
+		switch id {
+		case 1:
+			return depSelRs
+		case 2:
+			return depSelRt
+		case 3:
+			return depSelRd
+		case RegRA:
+			return depSelRA
+		case fprBase + 1:
+			return depSelFRs
+		case fprBase + 2:
+			return depSelFRt
+		case fprBase + 3:
+			return depSelFRd
+		case depFCC:
+			return depSelFCC
+		}
+		panic("isa: unmapped dependency id in recipe derivation")
+	}
+	probe := Inst{Rs: 1, Rt: 2, Rd: 3}
+	var buf [4]uint8
+	for op := range opInfo {
+		probe.Op = Op(op)
+		for i, id := range probe.Uses(buf[:0]) {
+			opUses[op][i] = sel(id)
+		}
+		for i, id := range probe.Defs(buf[:0]) {
+			opDefs[op][i] = sel(id)
+		}
+	}
+}
+
+// depExpand materializes a selector recipe for in, honoring the "GPR 0 is
+// never reported" rule exactly as the switch-based Uses/Defs do.
+func depExpand(sels *[2]uint8, in Inst, dst []uint8) int {
+	n := 0
+	for _, s := range sels {
+		var id uint8
+		switch s {
+		case depSelNone:
+			return n
+		case depSelRs:
+			if in.Rs == 0 {
+				continue
+			}
+			id = in.Rs
+		case depSelRt:
+			if in.Rt == 0 {
+				continue
+			}
+			id = in.Rt
+		case depSelRd:
+			if in.Rd == 0 {
+				continue
+			}
+			id = in.Rd
+		case depSelRA:
+			id = RegRA
+		case depSelFRs:
+			id = in.Rs + fprBase
+		case depSelFRt:
+			id = in.Rt + fprBase
+		case depSelFRd:
+			id = in.Rd + fprBase
+		case depSelFCC:
+			id = depFCC
+		}
+		dst[n] = id
+		n++
+	}
+	return n
+}
+
+// UsesInto writes the instruction's source dependency ids into dst and
+// returns the count. Identical results to Uses, allocation-free.
+func (in Inst) UsesInto(dst *[4]uint8) int { return depExpand(&opUses[in.Op], in, dst[:]) }
+
+// DefsInto writes the instruction's destination dependency ids into dst
+// and returns the count. Identical results to Defs, allocation-free.
+func (in Inst) DefsInto(dst *[2]uint8) int { return depExpand(&opDefs[in.Op], in, dst[:]) }
+
+// Deps writes the instruction's source and destination dependency ids and
+// returns both counts: one dispatch-path call replacing Uses+Defs. The
+// grouping mirrors the canonical switches above; TestDepsMatchesUsesDefs
+// asserts exact equivalence over every opcode and register pattern.
+func (in Inst) Deps(uses *[4]uint8, defs *[2]uint8) (nu, nd int) {
+	gu := func(r uint8) {
+		if r != 0 {
+			uses[nu] = r
+			nu++
+		}
+	}
+	switch in.Op {
+	case OpSLL, OpSRL, OpSRA:
+		gu(in.Rt)
+		if in.Rd != 0 {
+			defs[0], nd = in.Rd, 1
+		}
+	case OpSLLV, OpSRLV, OpSRAV,
+		OpADD, OpADDU, OpSUB, OpSUBU, OpAND, OpOR, OpXOR, OpNOR,
+		OpSLT, OpSLTU, OpMUL, OpDIV, OpREM, OpDIVU, OpREMU:
+		gu(in.Rs)
+		gu(in.Rt)
+		if in.Rd != 0 {
+			defs[0], nd = in.Rd, 1
+		}
+	case OpBEQ, OpBNE:
+		gu(in.Rs)
+		gu(in.Rt)
+	case OpJR, OpBLTZ, OpBGEZ, OpBLEZ, OpBGTZ, OpCACHE:
+		gu(in.Rs)
+	case OpJALR:
+		gu(in.Rs)
+		if in.Rd != 0 {
+			defs[0], nd = in.Rd, 1
+		}
+	case OpADDI, OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI,
+		OpLB, OpLH, OpLW, OpLBU, OpLHU, OpLL:
+		gu(in.Rs)
+		if in.Rt != 0 {
+			defs[0], nd = in.Rt, 1
+		}
+	case OpMTC0:
+		gu(in.Rt)
+	case OpSB, OpSH, OpSW:
+		gu(in.Rs)
+		gu(in.Rt)
+	case OpSC:
+		gu(in.Rs)
+		gu(in.Rt)
+		if in.Rt != 0 {
+			defs[0], nd = in.Rt, 1
+		}
+	case OpLUI, OpMFC0:
+		if in.Rt != 0 {
+			defs[0], nd = in.Rt, 1
+		}
+	case OpJAL:
+		defs[0], nd = RegRA, 1
+	case OpJ, OpSYSCALL, OpBREAK, OpERET, OpWAIT,
+		OpTLBR, OpTLBWI, OpTLBWR, OpTLBP:
+		// no tracked sources or destinations
+	case OpMTC1:
+		gu(in.Rt)
+		defs[0], nd = in.Rs+fprBase, 1
+	case OpMFC1:
+		uses[0], nu = in.Rs+fprBase, 1
+		if in.Rt != 0 {
+			defs[0], nd = in.Rt, 1
+		}
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV:
+		uses[0] = in.Rs + fprBase
+		uses[1] = in.Rt + fprBase
+		nu = 2
+		defs[0], nd = in.Rd+fprBase, 1
+	case OpFCEQ, OpFCLT, OpFCLE:
+		uses[0] = in.Rs + fprBase
+		uses[1] = in.Rt + fprBase
+		nu = 2
+		defs[0], nd = depFCC, 1
+	case OpFSQRT, OpFABS, OpFMOV, OpFNEG, OpCVTDW, OpCVTWD:
+		uses[0], nu = in.Rs+fprBase, 1
+		defs[0], nd = in.Rd+fprBase, 1
+	case OpBC1F, OpBC1T:
+		uses[0], nu = depFCC, 1
+	case OpFLD:
+		gu(in.Rs)
+		defs[0], nd = in.Rt+fprBase, 1
+	case OpFSD:
+		gu(in.Rs)
+		uses[nu] = in.Rt + fprBase
+		nu++
+	}
+	return nu, nd
 }
 
 // IsFPUnit reports whether the op executes on a floating-point unit.

@@ -197,3 +197,56 @@ func TestInstClassPredicates(t *testing.T) {
 		t.Fatal("serializing flags wrong")
 	}
 }
+
+// TestDepsMatchesUsesDefs asserts the dispatch-path fast paths (Deps,
+// UsesInto, DefsInto, Class, Latency, Serializing) agree exactly with the
+// canonical switch-based Uses/Defs and Info over every opcode and a grid of
+// register patterns, including the zero-register skip rule.
+func TestDepsMatchesUsesDefs(t *testing.T) {
+	regs := []uint8{0, 1, 2, 3, 15, 31}
+	for op := Op(0); op < opCount; op++ {
+		for _, rs := range regs {
+			for _, rt := range regs {
+				for _, rd := range regs {
+					in := Inst{Op: op, Rs: rs, Rt: rt, Rd: rd}
+					wantU := in.Uses(nil)
+					wantD := in.Defs(nil)
+
+					var u4 [4]uint8
+					var d2 [2]uint8
+					nu, nd := in.Deps(&u4, &d2)
+					if !equalIDs(u4[:nu], wantU) || !equalIDs(d2[:nd], wantD) {
+						t.Fatalf("%v rs=%d rt=%d rd=%d: Deps=(%v,%v) want (%v,%v)",
+							op, rs, rt, rd, u4[:nu], d2[:nd], wantU, wantD)
+					}
+					var u2 [4]uint8
+					var dd [2]uint8
+					if n := in.UsesInto(&u2); !equalIDs(u2[:n], wantU) {
+						t.Fatalf("%v: UsesInto=%v want %v", op, u2[:n], wantU)
+					}
+					if n := in.DefsInto(&dd); !equalIDs(dd[:n], wantD) {
+						t.Fatalf("%v: DefsInto=%v want %v", op, dd[:n], wantD)
+					}
+				}
+			}
+		}
+		inf := InfoOf(op)
+		in := Inst{Op: op}
+		if in.Class() != inf.Class || int(in.Latency()) != inf.Latency ||
+			in.Serializing() != inf.Serializing {
+			t.Fatalf("%v: dense tables disagree with Info", op)
+		}
+	}
+}
+
+func equalIDs(got []uint8, want []uint8) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

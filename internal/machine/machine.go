@@ -55,6 +55,22 @@ type Core interface {
 	Counters() obs.CoreCounters
 }
 
+// eventCore is implemented by timing models that can report when their
+// next internal event is due, letting the run loop skip the clock over
+// cycles that are guaranteed no-ops (DESIGN.md §11). The skip must be
+// timing-invisible: the loop batch-charges the skipped cycles to the
+// collector and clamps the jump so no device, timer, or telemetry event
+// is crossed.
+type eventCore interface {
+	// NextEvent returns the earliest cycle >= cycle at which the core can
+	// make progress (cycle itself when it has work now; math.MaxUint64
+	// when only an external interrupt can unblock it).
+	NextEvent(cycle uint64) uint64
+	// Idle reports that the core is asleep with an empty pipeline (WAIT
+	// committed), where even the per-cycle functional poll is pure.
+	Idle() bool
+}
+
 // Config describes one machine instance.
 type Config struct {
 	Core         CoreKind
@@ -127,6 +143,15 @@ type Machine struct {
 	// always-false compare per cycle and nothing else.
 	tele    *telemetry
 	obsNext uint64
+
+	// evc is the core's event interface when it has one (MXS); nil keeps
+	// the run loop on the plain per-cycle path (mipsy).
+	evc eventCore
+	// skipped counts cycles elided by the next-event skip (telemetry).
+	skipped uint64
+	// DisableSkip forces per-cycle ticking even on an event-driven core.
+	// Diagnostic/test knob: results are bit-identical either way.
+	DisableSkip bool
 
 	// Committed counts committed instructions (excluding bubbles).
 	Committed uint64
@@ -230,10 +255,12 @@ func New(cfg Config, w Workload) (*Machine, error) {
 	default:
 		return nil, fmt.Errorf("machine: unknown core kind %d", cfg.Core)
 	}
+	m.evc, _ = m.core.(eventCore)
 	m.timerNext = math.MaxUint64 // armed when the kernel writes the interval
 	m.obsNext = math.MaxUint64
 	if obs.MetricsEnabled() {
 		m.tele = newTelemetry()
+		m.tele.oooCore = cfg.Core != CoreMipsy
 		m.obsNext = obsIntervalCycles
 	}
 	m.commit = m.commitFn
@@ -254,6 +281,7 @@ func NewWithMXSWindow(cfg Config, w Workload, window int) (*Machine, error) {
 		c.LSQSize = window
 	}
 	m.core = mxs.New(m.cpu, m.hier, m.col, m, c)
+	m.evc, _ = m.core.(eventCore)
 	return m, nil
 }
 
@@ -297,6 +325,10 @@ func (m *Machine) Halted() bool { return m.halted }
 // Cycle returns the current cycle.
 func (m *Machine) Cycle() uint64 { return m.cycle }
 
+// SkippedCycles returns how many cycles the next-event skip elided
+// (always 0 on cores without an event scheduler or with DisableSkip).
+func (m *Machine) SkippedCycles() uint64 { return m.skipped }
+
 // Release returns the machine's physical memory to the allocator pool.
 // Call only once all results have been collected; the machine (and any
 // slice of its RAM) must not be used afterwards.
@@ -334,6 +366,47 @@ func (m *Machine) Run(maxCycles uint64) error {
 		m.core.Tick(m.cycle, m.commit)
 		m.col.AddCycle()
 		m.cycle++
+
+		// Next-event skip: when the core reports that nothing can happen
+		// before a future cycle, jump there, batch-charging the skipped
+		// cycles in the current attribution context (AddCycles splits at
+		// sample-window boundaries, so the serialized samples are
+		// bit-identical to per-cycle ticking). The jump is clamped so the
+		// disk, timer, and telemetry checks above still fire on their
+		// exact cycles. Ticks during deep sleep poll the functional core
+		// for interrupts (a pure, idempotent step while every external
+		// event is in the future), so they may be elided too — except
+		// under DebugStep, which observes each polled Waiting commit.
+		if m.evc == nil || m.DisableSkip || m.halted || m.cycle >= limit {
+			continue
+		}
+		next := m.evc.NextEvent(m.cycle)
+		if next <= m.cycle {
+			continue
+		}
+		if m.evc.Idle() && m.DebugStep != nil {
+			continue
+		}
+		target := next
+		if target > limit {
+			target = limit
+		}
+		due := false
+		for _, ev := range [3]uint64{m.dsk.NextEvent(), m.timerNext, m.obsNext} {
+			if ev <= m.cycle {
+				due = true // an external event is due right now: no skip
+				break
+			}
+			if ev < target {
+				target = ev
+			}
+		}
+		if due || target <= m.cycle {
+			continue
+		}
+		m.col.AddCycles(target - m.cycle)
+		m.skipped += target - m.cycle
+		m.cycle = target
 	}
 	if !m.halted {
 		return fmt.Errorf("machine: %s did not halt within %d cycles (pc=%08x)",

@@ -47,6 +47,14 @@ type telemetry struct {
 	coreFlushes *obs.Counter
 	wrongPath   *obs.Counter
 
+	// Event-driven scheduler observability (MXS; DESIGN.md §11). The
+	// histograms record instantaneous occupancy samples taken at each
+	// publication, cheap and frequent enough to sketch the distribution.
+	skipCycles *obs.Counter
+	windowOcc  *obs.Histogram
+	readyDepth *obs.Histogram
+	oooCore    bool // observe occupancy only for out-of-order cores
+
 	diskReads   *obs.Counter
 	diskWrites  *obs.Counter
 	dmaBytes    *obs.Counter
@@ -63,8 +71,9 @@ type telemetry struct {
 		tlbH     [2]uint64
 		tlbM     [2]uint64
 	}
-	lastCore   obs.CoreCounters
-	lastDisk   disk.Stats
+	lastCore    obs.CoreCounters
+	lastSkipped uint64
+	lastDisk    disk.Stats
 	sampleIdx  int // collector samples already folded into modeCycles
 }
 
@@ -95,6 +104,14 @@ func newTelemetry() *telemetry {
 	t.mispredicts = r.Counter("softwatt_bpred_mispredicts_total", "Branch mispredictions (MXS).", "")
 	t.coreFlushes = r.Counter("softwatt_core_flushes_total", "Serializing/exception pipeline flushes (MXS).", "")
 	t.wrongPath = r.Counter("softwatt_wrongpath_insts_total", "Wrong-path instructions fetched (MXS).", "")
+	t.skipCycles = r.Counter("softwatt_mxs_skip_cycles_total",
+		"Cycles elided by the next-event clock skip (MXS event-driven scheduler).", "")
+	t.windowOcc = r.Histogram("softwatt_mxs_window_occupancy",
+		"Instruction-window occupancy sampled at each telemetry publication (MXS).", "",
+		[]float64{0, 4, 8, 16, 24, 32, 40, 48, 56, 64})
+	t.readyDepth = r.Histogram("softwatt_mxs_ready_queue_depth",
+		"Issue-ready queue depth sampled at each telemetry publication (MXS).", "",
+		[]float64{0, 1, 2, 4, 8, 16, 32})
 	t.diskReads = r.Counter("softwatt_disk_reads_total", "Disk read requests completed.", "")
 	t.diskWrites = r.Counter("softwatt_disk_writes_total", "Disk write requests completed.", "")
 	t.dmaBytes = r.Counter("softwatt_dma_bytes_total", "Bytes moved by disk DMA.", "")
@@ -147,6 +164,12 @@ func (m *Machine) publishObs() {
 	t.coreFlushes.Add(cc.Flushes - t.lastCore.Flushes)
 	t.wrongPath.Add(cc.WrongPath - t.lastCore.WrongPath)
 	t.lastCore = cc
+	t.skipCycles.Add(m.skipped - t.lastSkipped)
+	t.lastSkipped = m.skipped
+	if t.oooCore {
+		t.windowOcc.Observe(float64(cc.WindowOcc))
+		t.readyDepth.Observe(float64(cc.ReadyDepth))
+	}
 
 	ds := m.dsk.Stats()
 	t.diskReads.Add(ds.Reads - t.lastDisk.Reads)

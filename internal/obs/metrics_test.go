@@ -139,3 +139,24 @@ func TestKindMismatchPanics(t *testing.T) {
 	}()
 	r.Gauge("x_total", "h", "")
 }
+
+// TestInstrumentsZeroAlloc pins the hot-path cost of every instrument the
+// simulator updates during a run: once resolved from the registry, counter
+// adds, gauge sets and histogram observations must not allocate — the
+// machine's publication path runs every few million cycles and the skip
+// counter/occupancy histograms ride on it.
+func TestInstrumentsZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "", "")
+	g := r.Gauge("g", "", "")
+	h := r.Histogram("h", "", "", []float64{1, 2, 4, 8})
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		c.Inc()
+		g.Set(1.5)
+		h.Observe(3.3)
+	})
+	if allocs != 0 {
+		t.Fatalf("instrument updates allocate %v times per op, want 0", allocs)
+	}
+}

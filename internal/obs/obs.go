@@ -50,4 +50,10 @@ type CoreCounters struct {
 	Flushes uint64
 	// WrongPath counts wrong-path instructions fetched during speculation.
 	WrongPath uint64
+	// WindowOcc is the instruction-window occupancy at sampling time
+	// (out-of-order core only; an instantaneous value, not a counter).
+	WindowOcc uint64
+	// ReadyDepth is the number of issue-ready window entries at sampling
+	// time (out-of-order core only; instantaneous).
+	ReadyDepth uint64
 }

@@ -154,6 +154,14 @@ type Collector struct {
 	// nextFlush caches cur.Start+WindowCycles so the per-cycle fast path
 	// compares against a single precomputed bound.
 	nextFlush uint64
+
+	// drain, when set, is invoked right before any attribution-context
+	// move, window flush, or totals read, so a timing model can batch
+	// structure accesses across ticks and still have every count land in
+	// the context and window it accrued under (DESIGN.md §11). The
+	// callback must hand its batch over via AddUnits (which never
+	// re-enters drain).
+	drain func()
 }
 
 // NewCollector creates a collector flushing every windowCycles cycles.
@@ -167,9 +175,25 @@ func NewCollector(windowCycles uint64) *Collector {
 // SetEnergyFn installs the per-invocation energy callback (may be nil).
 func (c *Collector) SetEnergyFn(fn EnergyFn) { c.energyFn = fn }
 
+// SetDrain registers the pending-units callback (may be nil). A model
+// that registers one may defer its AddUnits flush indefinitely; the
+// collector pulls the batch at every point where attribution placement
+// matters.
+func (c *Collector) SetDrain(f func()) { c.drain = f }
+
+func (c *Collector) drainPending() {
+	if c.drain != nil {
+		c.drain()
+	}
+}
+
 // SetContext switches the attribution context. svc is SvcNone outside any
 // kernel service.
 func (c *Collector) SetContext(mode Mode, svc Svc) {
+	if mode == c.mode && svc == c.svc {
+		return
+	}
+	c.drainPending()
 	c.mode = mode
 	c.svc = svc
 }
@@ -202,15 +226,30 @@ func (c *Collector) AddUnits(u *UnitCounts) {
 	}
 }
 
-// AddCycles advances time by n cycles in the current context.
+// AddCycles advances time by n cycles in the current context. It is
+// bit-identical to calling AddCycle n times: a batch that spans one or
+// more sample-window boundaries is split so every flush happens at the
+// exact boundary cycle the per-cycle path would have produced. This is
+// what lets the run loop's next-event skip batch idle time without
+// perturbing the serialized sample stream (DESIGN.md §11).
 func (c *Collector) AddCycles(n uint64) {
+	for c.totalCycles+n >= c.nextFlush {
+		step := c.nextFlush - c.totalCycles
+		c.cur.Mode[c.mode].Cycles += step
+		c.totalCycles += step
+		if c.svc != SvcNone {
+			c.invAcc[c.svc].Cycles += step
+		}
+		c.flush(c.totalCycles)
+		n -= step
+	}
+	if n == 0 {
+		return
+	}
 	c.cur.Mode[c.mode].Cycles += n
 	c.totalCycles += n
 	if c.svc != SvcNone {
 		c.invAcc[c.svc].Cycles += n
-	}
-	if c.totalCycles >= c.nextFlush {
-		c.flush(c.totalCycles)
 	}
 }
 
@@ -251,6 +290,7 @@ func (c *Collector) EndInvocation(svc Svc) {
 	if svc == SvcNone {
 		return
 	}
+	c.drainPending()
 	st := &c.services[svc]
 	st.Invocations++
 	st.Total.Add(&c.invAcc[svc])
@@ -270,12 +310,15 @@ func (c *Collector) AbortInvocation(svc Svc) {
 	if svc == SvcNone {
 		return
 	}
+	c.drainPending()
 	c.services[svc].Total.Add(&c.invAcc[svc])
 	c.invAcc[svc] = Bucket{}
 }
 
-// flush closes the current sample window at endCycle.
+// flush closes the current sample window at endCycle, first pulling any
+// batched units so they land in the window they accrued in.
 func (c *Collector) flush(endCycle uint64) {
+	c.drainPending()
 	c.cur.End = endCycle
 	c.samples = append(c.samples, c.cur)
 	c.cur = Sample{Start: endCycle}
@@ -304,6 +347,7 @@ func (c *Collector) TotalInsts() uint64 { return c.totalInsts }
 
 // ModeTotals sums all samples (plus the open window) per mode.
 func (c *Collector) ModeTotals() [NumModes]Bucket {
+	c.drainPending()
 	var out [NumModes]Bucket
 	for i := range c.samples {
 		for m := range out {

@@ -65,6 +65,54 @@ func TestGoldenBytesWithTelemetry(t *testing.T) {
 	}
 }
 
+// TestGoldenBytesWithTelemetryMXS is the out-of-order variant: the MXS
+// run exercises the event-scheduler instruments (skip counter, occupancy
+// and ready-depth histograms) that the in-order golden never touches, and
+// publication must still leave the result bytes untouched.
+func TestGoldenBytesWithTelemetryMXS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-run golden comparison skipped in -short mode")
+	}
+	obs.SetMetricsEnabled(true)
+	defer obs.SetMetricsEnabled(false)
+
+	r := obs.Default()
+	skip := r.Counter("softwatt_mxs_skip_cycles_total",
+		"Cycles elided by the next-event clock skip (MXS event-driven scheduler).", "")
+	occ := r.Histogram("softwatt_mxs_window_occupancy",
+		"Instruction-window occupancy sampled at each telemetry publication (MXS).", "",
+		[]float64{0, 4, 8, 16, 24, 32, 40, 48, 56, 64})
+	depth := r.Histogram("softwatt_mxs_ready_queue_depth",
+		"Issue-ready queue depth sampled at each telemetry publication (MXS).", "",
+		[]float64{0, 1, 2, 4, 8, 16, 32})
+	skip0, occ0, depth0 := skip.Value(), occ.Count(), depth.Count()
+
+	res, err := Run("compress", Options{Core: "mxs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(goldenPath("compress-mxs", ".swlog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("telemetry perturbed the MXS result: %d bytes vs golden %d "+
+			"(first difference at byte %d)", buf.Len(), len(want), firstDiff(buf.Bytes(), want))
+	}
+
+	if got := skip.Value() - skip0; got == 0 {
+		t.Error("skip-cycle counter did not move during an MXS run")
+	}
+	if occ.Count() == occ0 || depth.Count() == depth0 {
+		t.Errorf("occupancy/ready-depth histograms gained no samples (occ %d->%d, depth %d->%d)",
+			occ0, occ.Count(), depth0, depth.Count())
+	}
+}
+
 // TestBatchTraceWorkerTracks checks that batch cells land on per-worker
 // trace tracks (tid >= 1) with cell spans wrapping the pipeline phases.
 func TestBatchTraceWorkerTracks(t *testing.T) {

@@ -4,6 +4,12 @@
 # ns/inst per core) plus host metadata, for CI artifacts and before/after
 # comparisons.
 #
+# After writing the fresh snapshot the script compares it against the
+# committed baseline (git HEAD's BENCH_softwatt.json, also copied to
+# BENCH_baseline.json for artifact upload) and exits nonzero if either
+# core's mcycles_per_s dropped more than BENCH_TOLERANCE (default 0.15)
+# relative to the baseline. BENCHTIME controls -benchtime (default 5x).
+#
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 
@@ -47,3 +53,41 @@ END {
 }' "$raw"
 
 echo "wrote $out"
+
+# Regression gate: compare each core's Mcycles/s against the committed
+# baseline. The committed file is fetched from git so the gate works even
+# when $out overwrites the working-tree copy.
+tol="${BENCH_TOLERANCE:-0.15}"
+if git show HEAD:BENCH_softwatt.json > BENCH_baseline.json 2>/dev/null; then
+	awk -v tol="$tol" '
+	/"mcycles_per_s"/ {
+		core = $1; gsub(/[":]/, "", core)
+		v = ""
+		for (i = 1; i <= NF; i++)
+			if ($i == "\"mcycles_per_s\":") { v = $(i + 1); gsub(/,/, "", v) }
+		if (v == "") next
+		if (NR == FNR) base[core] = v + 0
+		else fresh[core] = v + 0
+	}
+	END {
+		bad = 0
+		for (core in base) {
+			if (!(core in fresh)) {
+				printf "bench: core %s missing from fresh run\n", core
+				bad = 1
+				continue
+			}
+			floor = base[core] * (1 - tol)
+			printf "bench: %-6s %8.3f Mcycles/s (baseline %.3f, floor %.3f)\n", \
+				core, fresh[core], base[core], floor
+			if (fresh[core] < floor) {
+				printf "bench: REGRESSION: %s is >%.0f%% below the committed baseline\n", \
+					core, tol * 100
+				bad = 1
+			}
+		}
+		exit bad
+	}' BENCH_baseline.json "$out"
+else
+	echo "bench: no committed baseline; skipping regression gate"
+fi
