@@ -309,11 +309,12 @@ func BenchmarkFig9SweepWorkers(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorThroughput measures raw simulation speed on both cores
+// BenchmarkSimulatorThroughput measures raw simulation speed on each core
 // (cycles simulated per wall second) — an engineering metric, not a paper
-// artifact.
+// artifact. swift is the fast-forward functional core; its floor is gated
+// by scripts/bench.sh like the timing models'.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	for _, core := range []string{"mipsy", "mxs"} {
+	for _, core := range []string{"mipsy", "mxs", "swift"} {
 		b.Run(core, func(b *testing.B) {
 			var cycles, insts uint64
 			for i := 0; i < b.N; i++ {

@@ -40,7 +40,7 @@ import (
 func main() {
 	pr := prof.Flags()
 	ob := obs.Flags()
-	coreKind := flag.String("core", "mxs", "CPU timing model: mipsy, mxs, mxs1")
+	coreKind := flag.String("core", "mxs", "CPU model: mipsy, mxs, mxs1, or swift (functional fast-forward, no power numbers)")
 	diskPol := flag.String("disk", "conventional", "disk policy: conventional, idle, standby2, standby4")
 	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = one per CPU)")
 	profile := flag.Bool("profile", false, "print the execution/power time profile (paper Figs. 3/4)")

@@ -41,6 +41,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see DESIGN.md §4) or 'all'")
 	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = one per CPU)")
 	logsDir := flag.String("logs", "", "run-log cache directory: load saved runs, save simulated ones")
+	coreKind := flag.String("core", "", "override every experiment's CPU model (mipsy, mxs, mxs1, swift); default: each experiment's paper configuration. swift is a functional pass: power columns are not meaningful")
 	flag.Parse()
 	if err := pr.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -58,7 +59,7 @@ func main() {
 	if *exp == "all" {
 		ids = []string{"v1", "t1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "t2", "t3", "t4", "t5", "x1", "x2", "f9", "a1", "a2"}
 	}
-	st := &state{est: softwatt.NewEstimator(), workers: *jobs, logsDir: *logsDir}
+	st := &state{est: softwatt.NewEstimator(), workers: *jobs, logsDir: *logsDir, core: *coreKind}
 	for _, id := range ids {
 		if err := st.run(strings.TrimSpace(id)); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
@@ -71,6 +72,7 @@ type state struct {
 	est       *softwatt.Estimator
 	workers   int
 	logsDir   string
+	core      string                // -core override; "" keeps per-experiment defaults
 	mxsRuns   []*softwatt.RunResult // cached all-benchmark MXS results
 	mipsyRuns []*softwatt.RunResult // cached all-benchmark Mipsy results
 }
@@ -87,7 +89,13 @@ func (s *state) batch() softwatt.BatchOptions {
 
 // runs sends a list of cells through the run-log cache (when -logs is
 // set): saved logs load instead of simulating, misses simulate and save.
+// A -core override rewrites every cell's CPU model before submission.
 func (s *state) runs(specs []softwatt.RunSpec) ([]*softwatt.RunResult, error) {
+	if s.core != "" {
+		for i := range specs {
+			specs[i].Options.Core = s.core
+		}
+	}
 	return softwatt.RunBatchCached(specs, s.logsDir, s.batch())
 }
 

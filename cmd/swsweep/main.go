@@ -39,6 +39,7 @@ func main() {
 	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = one per CPU)")
 	quiet := flag.Bool("q", false, "suppress per-cell progress on stderr")
 	logsDir := flag.String("logs", "", "run-log cache directory: load saved cells, save simulated ones")
+	coreKind := flag.String("core", "mipsy", "CPU model driving the sweep: mipsy, mxs, mxs1, or swift (fast functional pass: disk timeline without power attribution)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: swsweep [-j N] [-q] [-logs dir] [benchmark ...]\nbenchmarks: %v\n", softwatt.Benchmarks)
 		flag.PrintDefaults()
@@ -65,7 +66,7 @@ func main() {
 		for _, pol := range softwatt.DiskPolicies {
 			specs = append(specs, softwatt.RunSpec{
 				Benchmark: bench,
-				Options:   softwatt.Options{Core: "mipsy", DiskPolicy: pol},
+				Options:   softwatt.Options{Core: *coreKind, DiskPolicy: pol},
 				Label:     bench + "/" + pol,
 			})
 		}

@@ -15,6 +15,7 @@ package disk
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // State is the disk operating mode (paper Figure 2).
@@ -169,6 +170,7 @@ type Stats struct {
 type Disk struct {
 	cfg   Config
 	image []byte
+	img   *imgBuf
 
 	state      State
 	stateSince uint64
@@ -192,6 +194,87 @@ type Disk struct {
 	SubmitCycles []uint64
 }
 
+// imgBuf is a disk image plus a written-page bitmap. The bitmap exists
+// only so the recycling pool can re-zero the pages a previous run wrote
+// instead of clearing the whole image: a fresh zeroed image is several
+// megabytes, which dominated short fast-forward runs.
+type imgBuf struct {
+	data    []byte
+	written []uint64 // one bit per 4 KB page
+}
+
+const (
+	imgPageShift = 12
+	imgPageSize  = 1 << imgPageShift
+	imgPoolCap   = 16
+)
+
+// imgPool recycles released disk images by capacity. Capped per size so a
+// wide parallel sweep does not pin an unbounded amount of memory.
+var imgPool struct {
+	sync.Mutex
+	free map[int][]*imgBuf
+}
+
+// newImage returns a zeroed image buffer, recycling a released one of the
+// same capacity when available.
+func newImage(size int) *imgBuf {
+	imgPool.Lock()
+	if l := imgPool.free[size]; len(l) > 0 {
+		b := l[len(l)-1]
+		l[len(l)-1] = nil
+		imgPool.free[size] = l[:len(l)-1]
+		imgPool.Unlock()
+		b.scrub()
+		return b
+	}
+	imgPool.Unlock()
+	pages := (size + imgPageSize - 1) >> imgPageShift
+	return &imgBuf{
+		data:    make([]byte, size),
+		written: make([]uint64, (pages+63)/64),
+	}
+}
+
+// scrub re-zeroes every written page and clears the bitmap, restoring the
+// all-zero state a fresh allocation guarantees.
+func (b *imgBuf) scrub() {
+	for wi, w := range b.written {
+		if w == 0 {
+			continue
+		}
+		for bit := 0; bit < 64; bit++ {
+			if w&(1<<bit) == 0 {
+				continue
+			}
+			off := (wi*64 + bit) << imgPageShift
+			end := off + imgPageSize
+			if end > len(b.data) {
+				end = len(b.data)
+			}
+			clear(b.data[off:end])
+		}
+		b.written[wi] = 0
+	}
+}
+
+// markWritten records a write of n bytes at off (already bounds-checked
+// against the image length; n clamped by the caller's copy).
+func (b *imgBuf) markWritten(off uint64, n int) {
+	if n <= 0 || off >= uint64(len(b.data)) {
+		return
+	}
+	p := off >> imgPageShift
+	b.written[p>>6] |= 1 << (p & 63)
+	end := off + uint64(n) - 1
+	if last := uint64(len(b.data)) - 1; end > last {
+		end = last
+	}
+	for q := p + 1; q <= end>>imgPageShift; q++ {
+		b.written[q>>6] |= 1 << (q & 63)
+	}
+}
+
 // New creates a disk. onComplete is called at request completion time to
 // perform DMA and raise the interrupt; it may be nil for standalone tests.
 func New(cfg Config, onComplete func(Request)) *Disk {
@@ -207,9 +290,11 @@ func New(cfg Config, onComplete func(Request)) *Disk {
 	if cfg.CapacityBytes <= 0 {
 		cfg.CapacityBytes = 8 << 20
 	}
+	img := newImage(cfg.CapacityBytes)
 	d := &Disk{
 		cfg:        cfg,
-		image:      make([]byte, cfg.CapacityBytes),
+		img:        img,
+		image:      img.data,
 		onComplete: onComplete,
 	}
 	if cfg.Policy == PolicyConventional {
@@ -462,7 +547,26 @@ func (d *Disk) Write(sector uint32, buf []byte) {
 	if off >= uint64(len(d.image)) {
 		return
 	}
-	copy(d.image[off:], buf)
+	n := copy(d.image[off:], buf)
+	d.img.markWritten(off, n)
+}
+
+// MarkWritten records that [off, off+n) of the image was populated through
+// the raw Image() slice (the machine's file-store build), so a recycled
+// buffer scrubs those pages too.
+func (d *Disk) MarkWritten(off uint64, n int) { d.img.markWritten(off, n) }
+
+// Release returns the image to the recycling pool. The disk (and anything
+// holding its Image) must not be used afterwards.
+func (d *Disk) Release() {
+	imgPool.Lock()
+	defer imgPool.Unlock()
+	if imgPool.free == nil {
+		imgPool.free = make(map[int][]*imgBuf)
+	}
+	if len(imgPool.free[len(d.img.data)]) < imgPoolCap {
+		imgPool.free[len(d.img.data)] = append(imgPool.free[len(d.img.data)], d.img)
+	}
 }
 
 // FinishEnergy integrates energy through endCycle and returns the total.

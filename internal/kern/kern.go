@@ -70,32 +70,34 @@ type File struct {
 
 // BuildDiskImage lays out a directory plus file contents into a disk image
 // buffer. Files are placed contiguously on block boundaries after the
-// directory. Returns an error when a name is too long or space runs out.
-func BuildDiskImage(img []byte, files []File) error {
+// directory. Returns the number of bytes of img the layout occupies (the
+// written extent, for pooled-image scrub tracking) and an error when a
+// name is too long or space runs out.
+func BuildDiskImage(img []byte, files []File) (int, error) {
 	if len(img) < DirSectors*SectorSize {
-		return fmt.Errorf("kern: disk image too small for directory")
+		return 0, fmt.Errorf("kern: disk image too small for directory")
 	}
 	for i := range img[:DirSectors*SectorSize] {
 		img[i] = 0
 	}
 	if len(files) > MaxDirEntries {
-		return fmt.Errorf("kern: too many files (%d > %d)", len(files), MaxDirEntries)
+		return 0, fmt.Errorf("kern: too many files (%d > %d)", len(files), MaxDirEntries)
 	}
 	// Deterministic layout: keep caller order, but validate unique names.
 	seen := make(map[string]bool)
 	sector := uint32(DataStartBlock * SectorsPerBlk)
 	for i, f := range files {
 		if len(f.Name) == 0 || len(f.Name) >= DirNameLen {
-			return fmt.Errorf("kern: bad file name %q", f.Name)
+			return 0, fmt.Errorf("kern: bad file name %q", f.Name)
 		}
 		if seen[f.Name] {
-			return fmt.Errorf("kern: duplicate file name %q", f.Name)
+			return 0, fmt.Errorf("kern: duplicate file name %q", f.Name)
 		}
 		seen[f.Name] = true
 		blocks := (len(f.Data) + BlockSize - 1) / BlockSize
 		end := (int(sector) + blocks*SectorsPerBlk) * SectorSize
 		if end > len(img) {
-			return fmt.Errorf("kern: disk image full placing %q", f.Name)
+			return 0, fmt.Errorf("kern: disk image full placing %q", f.Name)
 		}
 		ent := img[i*DirEntrySize:]
 		copy(ent[:DirNameLen], f.Name)
@@ -104,7 +106,7 @@ func BuildDiskImage(img []byte, files []File) error {
 		copy(img[int(sector)*SectorSize:], f.Data)
 		sector += uint32(blocks * SectorsPerBlk)
 	}
-	return nil
+	return int(sector) * SectorSize, nil
 }
 
 // EncodeBootInfo serialises bi in the layout the kernel assembly expects.

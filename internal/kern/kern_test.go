@@ -75,7 +75,8 @@ func TestBuildDiskImage(t *testing.T) {
 		{Name: "a.dat", Data: []byte("hello")},
 		{Name: "b.dat", Data: make([]byte, 10000)},
 	}
-	if err := BuildDiskImage(img, files); err != nil {
+	ext, err := BuildDiskImage(img, files)
+	if err != nil {
 		t.Fatal(err)
 	}
 	// Directory entry 0: name + start + size.
@@ -95,25 +96,29 @@ func TestBuildDiskImage(t *testing.T) {
 	if (start2-start)%SectorsPerBlk != 0 || start2 <= start {
 		t.Fatalf("layout: %d then %d", start, start2)
 	}
+	// The reported extent covers the last file's final block.
+	if min := int(start2)*SectorSize + 10000; ext < min || ext > len(img) {
+		t.Fatalf("extent %d not in [%d, %d]", ext, min, len(img))
+	}
 }
 
 func TestBuildDiskImageErrors(t *testing.T) {
 	img := make([]byte, 1<<20)
-	if err := BuildDiskImage(img, []File{{Name: "", Data: nil}}); err == nil {
+	if _, err := BuildDiskImage(img, []File{{Name: "", Data: nil}}); err == nil {
 		t.Fatal("empty name accepted")
 	}
-	if err := BuildDiskImage(img, []File{{Name: strings.Repeat("x", 40)}}); err == nil {
+	if _, err := BuildDiskImage(img, []File{{Name: strings.Repeat("x", 40)}}); err == nil {
 		t.Fatal("long name accepted")
 	}
-	if err := BuildDiskImage(img, []File{
+	if _, err := BuildDiskImage(img, []File{
 		{Name: "dup", Data: []byte("1")}, {Name: "dup", Data: []byte("2")},
 	}); err == nil {
 		t.Fatal("duplicate accepted")
 	}
-	if err := BuildDiskImage(img, []File{{Name: "big", Data: make([]byte, 2<<20)}}); err == nil {
+	if _, err := BuildDiskImage(img, []File{{Name: "big", Data: make([]byte, 2<<20)}}); err == nil {
 		t.Fatal("oversized file accepted")
 	}
-	if err := BuildDiskImage(make([]byte, 100), nil); err == nil {
+	if _, err := BuildDiskImage(make([]byte, 100), nil); err == nil {
 		t.Fatal("tiny image accepted")
 	}
 }

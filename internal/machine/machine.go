@@ -15,6 +15,7 @@ import (
 	"softwatt/internal/arch"
 	"softwatt/internal/cpu/mipsy"
 	"softwatt/internal/cpu/mxs"
+	"softwatt/internal/cpu/swift"
 	"softwatt/internal/disk"
 	"softwatt/internal/isa"
 	"softwatt/internal/kern"
@@ -31,6 +32,10 @@ const (
 	CoreMipsy CoreKind = iota // in-order single issue, blocking caches
 	CoreMXS                   // 4-wide out-of-order (R10000-like)
 	CoreMXS1                  // MXS configured single-issue (paper Figure 3)
+	CoreSwift                 // functional fast-forward (no timing/power model)
+	// CoreSwiftRef is swift's lockstep oracle: the same batch protocol
+	// executed entirely by the exact interpreter. Test harnesses only.
+	CoreSwiftRef
 )
 
 func (k CoreKind) String() string {
@@ -41,6 +46,10 @@ func (k CoreKind) String() string {
 		return "mxs"
 	case CoreMXS1:
 		return "mxs1"
+	case CoreSwift:
+		return "swift"
+	case CoreSwiftRef:
+		return "swiftref"
 	}
 	return "unknown"
 }
@@ -53,6 +62,22 @@ type Core interface {
 	// Counters returns the model's telemetry counters (committed
 	// instructions, mispredictions, flushes). Read between Ticks only.
 	Counters() obs.CoreCounters
+}
+
+// batchCore is implemented by functional fast-forward engines that run
+// whole spans of instructions per call instead of one pipeline cycle per
+// Tick. The machine clamps each batch to the next device/telemetry event;
+// the core must consume at least one cycle per call (unless halted), end
+// the batch after any uncached access so device timing is re-evaluated,
+// and report the exact current cycle through SyncCycle before every
+// interpreter-delegated step so MMIO side effects see true time.
+type batchCore interface {
+	// RunBatch executes up to budget cycles from cycle start, returning
+	// cycles consumed and instructions retired (WAIT idling excluded).
+	RunBatch(start, budget uint64) (ran, retired uint64)
+	// InvalidateCode drops cached decoded state overlapping [pa, pa+n)
+	// after DMA writes RAM behind the CPU's back.
+	InvalidateCode(pa uint32, n int)
 }
 
 // eventCore is implemented by timing models that can report when their
@@ -147,6 +172,9 @@ type Machine struct {
 	// evc is the core's event interface when it has one (MXS); nil keeps
 	// the run loop on the plain per-cycle path (mipsy).
 	evc eventCore
+	// bc is the core's batch interface when it has one (swift); non-nil
+	// routes Run through the batched loop.
+	bc batchCore
 	// skipped counts cycles elided by the next-event skip (telemetry).
 	skipped uint64
 	// DisableSkip forces per-cycle ticking even on an event-driven core.
@@ -230,18 +258,24 @@ func New(cfg Config, w Workload) (*Machine, error) {
 	m.ram.LoadSegment(kern.PhysBootInfo, kern.EncodeBootInfo(bi))
 
 	// Disk contents (the file store).
-	if err := kern.BuildDiskImage(m.dsk.Image(), w.Files); err != nil {
+	n, err := kern.BuildDiskImage(m.dsk.Image(), w.Files)
+	if err != nil {
 		return nil, err
 	}
+	m.dsk.MarkWritten(0, n)
 
 	m.cpu = arch.New(m)
 	// Predecode covers all of RAM below the MMIO window: a line fill reads
-	// 64 bytes, and only RAM reads are side-effect-free.
+	// 64 bytes, and only RAM reads are side-effect-free. The swift core
+	// skips it: superblocks are its decode cache, and the table's per-run
+	// allocation is measurable against a fast-forward pass.
 	pdLimit := uint32(kern.MMIOBase)
 	if uint64(cfg.RAMBytes) < uint64(kern.MMIOBase) {
 		pdLimit = uint32(cfg.RAMBytes)
 	}
-	m.cpu.EnablePredecode(pdLimit)
+	if cfg.Core != CoreSwift {
+		m.cpu.EnablePredecode(pdLimit)
+	}
 	switch cfg.Core {
 	case CoreMipsy:
 		m.core = mipsy.New(m.cpu, m.hier, m.col)
@@ -252,10 +286,15 @@ func New(cfg Config, w Workload) (*Machine, error) {
 		c.FetchWidth, c.IssueWidth, c.CommitWidth = 1, 1, 1
 		c.IntUnits, c.FPUnits = 1, 1
 		m.core = mxs.New(m.cpu, m.hier, m.col, m, c)
+	case CoreSwift:
+		m.core = swift.New(m.cpu, m.ram, m, pdLimit)
+	case CoreSwiftRef:
+		m.core = swift.NewReference(m.cpu, m)
 	default:
 		return nil, fmt.Errorf("machine: unknown core kind %d", cfg.Core)
 	}
 	m.evc, _ = m.core.(eventCore)
+	m.bc, _ = m.core.(batchCore)
 	m.timerNext = math.MaxUint64 // armed when the kernel writes the interval
 	m.obsNext = math.MaxUint64
 	if obs.MetricsEnabled() {
@@ -329,10 +368,14 @@ func (m *Machine) Cycle() uint64 { return m.cycle }
 // (always 0 on cores without an event scheduler or with DisableSkip).
 func (m *Machine) SkippedCycles() uint64 { return m.skipped }
 
-// Release returns the machine's physical memory to the allocator pool.
-// Call only once all results have been collected; the machine (and any
-// slice of its RAM) must not be used afterwards.
-func (m *Machine) Release() { m.ram.Release() }
+// Release returns the machine's physical memory and disk image to their
+// allocator pools. Call only once all results have been collected; the
+// machine (and any slice of its RAM or disk image) must not be used
+// afterwards.
+func (m *Machine) Release() {
+	m.ram.Release()
+	m.dsk.Release()
+}
 
 // Run simulates until the workload halts the machine or maxCycles elapse
 // (0 = use the config's MaxCycles).
@@ -348,20 +391,91 @@ func (m *Machine) Run(maxCycles uint64) error {
 			m.tele.sim.MachinesActive.Add(-1)
 		}()
 	}
+	if m.bc != nil {
+		if m.DebugStep != nil {
+			return fmt.Errorf("machine: %s core does not support DebugStep", m.cfg.Core)
+		}
+		m.runBatches(limit)
+	} else {
+		m.runCycles(limit)
+	}
+	if !m.halted {
+		return fmt.Errorf("machine: %s did not halt within %d cycles (pc=%08x)",
+			m.cfg.Core, maxCycles, m.cpu.PC)
+	}
+	m.dsk.FinishEnergy(m.cycle)
+	return nil
+}
+
+// StepCycles advances the machine by exactly n cycles (or to the halt),
+// without Run's did-not-halt error: the lockstep equivalence harness's
+// stepping primitive, valid on every core kind.
+func (m *Machine) StepCycles(n uint64) {
+	limit := m.cycle + n
+	if m.bc != nil {
+		m.runBatches(limit)
+		return
+	}
+	m.runCycles(limit)
+}
+
+// stepDevices fires every device/telemetry event due at the current
+// cycle: shared by the per-cycle and batched run loops.
+func (m *Machine) stepDevices() {
+	if m.cycle >= m.dsk.NextEvent() {
+		m.dsk.Advance(m.cycle)
+		if m.dsk.IRQPending() {
+			m.cpu.SetIRQ(isa.IntDisk, true)
+		}
+	}
+	if m.cycle >= m.timerNext {
+		m.cpu.SetIRQ(isa.IntTimer, true)
+	}
+	if m.cycle >= m.obsNext {
+		m.publishObs()
+	}
+}
+
+// SyncCycle lets a batch core set true device time before delegating an
+// instruction to the interpreter, so MMIO handlers that read or latch
+// m.cycle (timer arming, disk submission) observe exactly the cycle a
+// per-cycle loop would have shown them. Part of the swift.CycleSync
+// contract; the authoritative post-batch update happens in runBatches.
+func (m *Machine) SyncCycle(cycle uint64) { m.cycle = cycle }
+
+// runBatches is the run loop for batch cores: instead of ticking every
+// cycle, it hands the core a budget bounded by the next device, timer, or
+// telemetry event and batch-charges the consumed cycles and retired
+// instructions to the collector (AddCycles/AddInst split at sample-window
+// boundaries, so window accounting stays exact). Batch cores perform no
+// per-instruction attribution: fast-forward runs report functional
+// results and totals, not per-mode power.
+func (m *Machine) runBatches(limit uint64) {
 	for !m.halted && m.cycle < limit {
-		// Device time.
-		if m.cycle >= m.dsk.NextEvent() {
-			m.dsk.Advance(m.cycle)
-			if m.dsk.IRQPending() {
-				m.cpu.SetIRQ(isa.IntDisk, true)
+		m.stepDevices()
+		target := limit
+		for _, ev := range [3]uint64{m.dsk.NextEvent(), m.timerNext, m.obsNext} {
+			if ev > m.cycle && ev < target {
+				target = ev
 			}
 		}
-		if m.cycle >= m.timerNext {
-			m.cpu.SetIRQ(isa.IntTimer, true)
+		start := m.cycle
+		ran, retired := m.bc.RunBatch(start, target-start)
+		if ran == 0 {
+			break // CPU halted outside the machine's control: stop cleanly
 		}
-		if m.cycle >= m.obsNext {
-			m.publishObs()
-		}
+		m.cycle = start + ran
+		m.col.AddCycles(ran)
+		m.col.AddInst(retired)
+		m.Committed += retired
+	}
+}
+
+// runCycles is the per-cycle run loop driving Tick-based timing models.
+func (m *Machine) runCycles(limit uint64) {
+	for !m.halted && m.cycle < limit {
+		// Device time.
+		m.stepDevices()
 
 		m.core.Tick(m.cycle, m.commit)
 		m.col.AddCycle()
@@ -408,12 +522,6 @@ func (m *Machine) Run(maxCycles uint64) error {
 		m.skipped += target - m.cycle
 		m.cycle = target
 	}
-	if !m.halted {
-		return fmt.Errorf("machine: %s did not halt within %d cycles (pc=%08x)",
-			m.cfg.Core, maxCycles, m.cpu.PC)
-	}
-	m.dsk.FinishEnergy(m.cycle)
-	return nil
 }
 
 // svcFor classifies an exception into a kernel service.
@@ -666,6 +774,9 @@ func (m *Machine) diskComplete(req disk.Request) {
 		// in the landing zone and record the dirtied pages.
 		m.cpu.InvalidatePredecode(req.DMAAddr, n)
 		m.ram.MarkDirty(req.DMAAddr, n)
+		if m.bc != nil {
+			m.bc.InvalidateCode(req.DMAAddr, n)
+		}
 	}
 	m.cpu.SetIRQ(isa.IntDisk, true)
 }

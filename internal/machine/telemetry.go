@@ -47,6 +47,12 @@ type telemetry struct {
 	coreFlushes *obs.Counter
 	wrongPath   *obs.Counter
 
+	// Superblock cache observability (swift fast-forward core).
+	sbHits    *obs.Counter
+	sbMisses  *obs.Counter
+	sbInval   *obs.Counter
+	slowSteps *obs.Counter
+
 	// Event-driven scheduler observability (MXS; DESIGN.md §11). The
 	// histograms record instantaneous occupancy samples taken at each
 	// publication, cheap and frequent enough to sketch the distribution.
@@ -74,7 +80,7 @@ type telemetry struct {
 	lastCore    obs.CoreCounters
 	lastSkipped uint64
 	lastDisk    disk.Stats
-	sampleIdx  int // collector samples already folded into modeCycles
+	sampleIdx   int // collector samples already folded into modeCycles
 }
 
 // newTelemetry resolves every instrument from the default registry once.
@@ -104,6 +110,14 @@ func newTelemetry() *telemetry {
 	t.mispredicts = r.Counter("softwatt_bpred_mispredicts_total", "Branch mispredictions (MXS).", "")
 	t.coreFlushes = r.Counter("softwatt_core_flushes_total", "Serializing/exception pipeline flushes (MXS).", "")
 	t.wrongPath = r.Counter("softwatt_wrongpath_insts_total", "Wrong-path instructions fetched (MXS).", "")
+	t.sbHits = r.Counter("softwatt_swift_superblock_hits_total",
+		"Superblock cache hits (swift fast-forward core).", "")
+	t.sbMisses = r.Counter("softwatt_swift_superblock_misses_total",
+		"Superblock builds/rebuilds (swift fast-forward core).", "")
+	t.sbInval = r.Counter("softwatt_swift_superblock_invalidations_total",
+		"Code-page invalidations from stores or DMA (swift core).", "")
+	t.slowSteps = r.Counter("softwatt_swift_slow_steps_total",
+		"Instructions delegated to the exact interpreter (swift core).", "")
 	t.skipCycles = r.Counter("softwatt_mxs_skip_cycles_total",
 		"Cycles elided by the next-event clock skip (MXS event-driven scheduler).", "")
 	t.windowOcc = r.Histogram("softwatt_mxs_window_occupancy",
@@ -163,6 +177,10 @@ func (m *Machine) publishObs() {
 	t.mispredicts.Add(cc.Mispredicts - t.lastCore.Mispredicts)
 	t.coreFlushes.Add(cc.Flushes - t.lastCore.Flushes)
 	t.wrongPath.Add(cc.WrongPath - t.lastCore.WrongPath)
+	t.sbHits.Add(cc.SBHits - t.lastCore.SBHits)
+	t.sbMisses.Add(cc.SBMisses - t.lastCore.SBMisses)
+	t.sbInval.Add(cc.SBInvalidations - t.lastCore.SBInvalidations)
+	t.slowSteps.Add(cc.SlowSteps - t.lastCore.SlowSteps)
 	t.lastCore = cc
 	t.skipCycles.Add(m.skipped - t.lastSkipped)
 	t.lastSkipped = m.skipped

@@ -89,24 +89,49 @@ func (r *RAM) scrub() {
 	}
 }
 
-// markDirty records a write of size bytes at pa (already bounds-checked).
-// CPU stores are size-aligned and never cross a page; the boundary check
-// costs one compare and covers generic callers.
-func (r *RAM) markDirty(pa uint32, size int) {
+// MarkDirtyPage records an aligned CPU store at pa that is already
+// bounds-checked and, being size-aligned (≤ 8 bytes), cannot cross a page.
+// It is the inlinable fast path for the fast-forward core's direct RAM
+// stores; generic writers use MarkDirty, which handles arbitrary ranges.
+func (r *RAM) MarkDirtyPage(pa uint32) {
 	p := pa >> ramPageShift
 	r.dirty[p>>6] |= 1 << (p & 63)
-	if q := (pa + uint32(size) - 1) >> ramPageShift; q != p {
+}
+
+// markDirty records a write of size bytes at pa (already bounds-checked).
+// CPU stores are size-aligned and never cross a page; the boundary check
+// costs one compare and covers generic callers. The end address is computed
+// in uint64: `pa+size-1` in uint32 underflows for size == 0 and wraps when
+// pa+size crosses 2³², both of which would index past the dirty bitmap.
+func (r *RAM) markDirty(pa uint32, size int) {
+	if size <= 0 || uint64(pa) >= uint64(len(r.data)) {
+		return
+	}
+	p := pa >> ramPageShift
+	r.dirty[p>>6] |= 1 << (p & 63)
+	end := uint64(pa) + uint64(size) - 1
+	if last := uint64(len(r.data)) - 1; end > last {
+		end = last
+	}
+	if q := uint32(end >> ramPageShift); q != p {
 		r.dirty[q>>6] |= 1 << (q & 63)
 	}
 }
 
 // MarkDirty records an external write of n bytes at pa — used by DMA, which
-// writes through the Bytes slice rather than Write.
+// writes through the Bytes slice rather than Write. Only pages that exist
+// are marked: the end page is clamped to the last page of memory, and the
+// range arithmetic is done in uint64 so a wrapping pa+n (or n == 0) cannot
+// walk the ~2³²>>pageShift nonexistent pages or index past the bitmap.
 func (r *RAM) MarkDirty(pa uint32, n int) {
-	if n <= 0 {
+	if n <= 0 || uint64(pa) >= uint64(len(r.data)) {
 		return
 	}
-	for p := pa >> ramPageShift; p <= (pa+uint32(n)-1)>>ramPageShift; p++ {
+	end := uint64(pa) + uint64(n) - 1
+	if last := uint64(len(r.data)) - 1; end > last {
+		end = last
+	}
+	for p, q := pa>>ramPageShift, uint32(end>>ramPageShift); p <= q; p++ {
 		r.dirty[p>>6] |= 1 << (p & 63)
 	}
 }
@@ -121,7 +146,9 @@ func (r *RAM) Bytes() []byte { return r.data }
 // Read returns the little-endian value of the given size at pa. Accesses
 // beyond the end of memory return zero, matching open-bus behaviour.
 func (r *RAM) Read(pa uint32, size int) uint64 {
-	if int(pa)+size > len(r.data) {
+	// Compare in uint64: on 32-bit hosts int(pa) is negative for pa ≥ 2³¹,
+	// so `int(pa)+size` would pass the check and panic slicing r.data.
+	if uint64(pa)+uint64(size) > uint64(len(r.data)) {
 		return 0
 	}
 	switch size {
@@ -140,7 +167,8 @@ func (r *RAM) Read(pa uint32, size int) uint64 {
 // Write stores the little-endian value of the given size at pa. Writes
 // beyond the end of memory are dropped.
 func (r *RAM) Write(pa uint32, size int, v uint64) {
-	if int(pa)+size > len(r.data) {
+	// uint64 compare for the same 32-bit-host overflow reason as Read.
+	if uint64(pa)+uint64(size) > uint64(len(r.data)) {
 		return
 	}
 	r.markDirty(pa, size)
@@ -158,8 +186,12 @@ func (r *RAM) Write(pa uint32, size int, v uint64) {
 	}
 }
 
-// LoadSegment copies data into physical memory at pa.
+// LoadSegment copies data into physical memory at pa. Bytes beyond the end
+// of memory are dropped, matching Write.
 func (r *RAM) LoadSegment(pa uint32, data []byte) {
-	copy(r.data[pa:], data)
-	r.MarkDirty(pa, len(data))
+	if uint64(pa) >= uint64(len(r.data)) {
+		return
+	}
+	n := copy(r.data[pa:], data)
+	r.MarkDirty(pa, n)
 }

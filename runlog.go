@@ -31,17 +31,35 @@ func SaveResult(w io.Writer, r *RunResult) error { return core.SaveResult(w, r) 
 // sample-derivable fields populated.
 func LoadResult(r io.Reader) (*RunResult, error) { return core.LoadResult(r) }
 
-// SaveResultFile writes a run log file, creating or truncating path.
+// SaveResultFile writes a run log file, creating or replacing path. The
+// log is written to a temporary file in the same directory and renamed into
+// place, so a crash or signal mid-write never leaves a truncated log
+// visible at path: concurrent RunBatchCached workers either see the old
+// complete file, no file, or the new complete file.
 func SaveResultFile(path string, r *RunResult) error {
-	f, err := os.Create(path)
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if err := SaveResult(f, r); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadResultFile reads a run log file.

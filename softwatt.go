@@ -93,8 +93,11 @@ var Benchmarks = workload.Names
 // Options configure one simulation run.
 type Options struct {
 	// Core selects the CPU timing model: "mipsy" (in-order, default),
-	// "mxs" (4-wide out-of-order), or "mxs1" (MXS configured single-issue,
-	// the paper's Figure 3 configuration).
+	// "mxs" (4-wide out-of-order), "mxs1" (MXS configured single-issue,
+	// the paper's Figure 3 configuration), or "swift" (functional
+	// fast-forward: architecturally exact but with no cache, timing, or
+	// power model — for positioning runs and functional checks, at
+	// ~5x mipsy's throughput).
 	Core string
 	// DiskPolicy selects the paper's §4 configurations: "conventional"
 	// (default), "idle", "standby2" (2 s scaled threshold) or "standby4".
@@ -127,8 +130,10 @@ func (o Options) MachineConfig() (machine.Config, error) {
 		cfg.Core = machine.CoreMXS
 	case "mxs1":
 		cfg.Core = machine.CoreMXS1
+	case "swift":
+		cfg.Core = machine.CoreSwift
 	default:
-		return cfg, fmt.Errorf("softwatt: unknown core %q (valid: mipsy, mxs, mxs1)", o.Core)
+		return cfg, fmt.Errorf("softwatt: unknown core %q (valid: mipsy, mxs, mxs1, swift)", o.Core)
 	}
 	switch o.DiskPolicy {
 	case "", "conventional":
