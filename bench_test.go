@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"softwatt/internal/core"
 	"softwatt/internal/machine"
@@ -330,6 +331,62 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.ReportMetric(float64(insts)/secs/1e6, "Minsts/s")
 			b.ReportMetric(secs*1e9/float64(insts), "ns/inst")
 		})
+	}
+}
+
+// BenchmarkSampledSpeedup is the DESIGN.md §13 wall-clock claim: on a
+// ~10^8-cycle workload (compress scaled to 300 rounds), sampled simulation
+// — one swift fast-forward pass plus 10 detailed windows — must beat a
+// full-detail mipsy run of the same workload by >=5x. Both sides run for
+// real; speedup-x is their measured wall-clock ratio, and scripts/bench.sh
+// gates it alongside the per-core throughput floors. The sampled side's
+// 95% CI half-width is reported so a run whose windows stop agreeing (a
+// checkpoint-placement regression) is visible in the same output.
+func BenchmarkSampledSpeedup(b *testing.B) {
+	const rounds = 300
+	w := scaledCompress(b, rounds)
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		s, err := runSampledWorkload("compress", w, Options{Core: "mipsy"}, SampleOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sampledSec := time.Since(start).Seconds()
+		if s.TotalCycles < 100_000_000 {
+			b.Fatalf("scaled workload ran only %d cycles; the >=10^8 claim needs more rounds", s.TotalCycles)
+		}
+
+		start = time.Now()
+		cfg, err := Options{Core: "mipsy"}.MachineConfig()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := machine.New(cfg, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Collector().SetEnergyFn(power.Default().InvocationEnergy)
+		if err := m.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		exact := core.Collect(m, "compress", cfg.Core.String())
+		m.Release()
+		detailedSec := time.Since(start).Seconds()
+
+		if i == 0 {
+			model := power.Default()
+			var e float64
+			for mo := trace.Mode(0); mo < trace.NumModes; mo++ {
+				e += model.BucketEnergy(&exact.ModeTotals[mo]).Total
+			}
+			exactW := e / (float64(exact.TotalCycles) / exact.ClockHz)
+			b.ReportMetric(sampledSec, "sampled-s")
+			b.ReportMetric(detailedSec, "detailed-s")
+			b.ReportMetric(detailedSec/sampledSec, "speedup-x")
+			b.ReportMetric(s.MeanPowerW, "sampled-W")
+			b.ReportMetric(s.PowerCI95W, "ci95-W")
+			b.ReportMetric(exactW, "exact-W")
+		}
 	}
 }
 

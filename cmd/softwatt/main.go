@@ -12,10 +12,19 @@
 // -replay re-renders the identical report from such a log with zero
 // simulation. -log writes the legacy version-1 sample-only log.
 //
+// -sample N estimates power by sampled simulation instead of a full
+// detailed run: a swift fast-forward pass measures the run length and the
+// exact disk figures, then N detailed windows (each -window cycles,
+// restored from fast-forward checkpoints) run in parallel and aggregate
+// into a mean CPU power with a 95% confidence interval. -ckpt makes full
+// detailed runs resumable: periodic checkpoints are saved to the
+// directory and an interrupted run continues from its last one.
+//
 // Usage:
 //
 //	softwatt [-core mipsy|mxs|mxs1] [-disk conventional|idle|standby2|standby4]
 //	         [-j N] [-profile] [-services] [-log file] [-o file]
+//	         [-sample N] [-window W] [-ckpt dir]
 //	         [-http addr] [-trace file.json] <benchmark ...>
 //	softwatt -replay [-profile] [-services] <run.swlog ...>
 //
@@ -48,6 +57,9 @@ func main() {
 	logFile := flag.String("log", "", "write the legacy v1 sample-only log to this file (single benchmark only)")
 	outFile := flag.String("o", "", "save the complete run as a v2 run log (single benchmark only)")
 	replay := flag.Bool("replay", false, "arguments are saved run logs: report from them without simulating")
+	sample := flag.Int("sample", 0, "estimate power from N sampled detailed windows instead of a full run (0 = full detail)")
+	window := flag.Uint64("window", 0, "detailed cycles per sample window (0 = default 200000)")
+	ckptDir := flag.String("ckpt", "", "checkpoint directory: detailed runs save periodic checkpoints and resume from the last one")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: softwatt [flags] <benchmark ...>\n"+
 			"       softwatt -replay [flags] <run.swlog ...>\nbenchmarks: %v\n", softwatt.Benchmarks)
@@ -93,12 +105,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "softwatt: -o needs a single benchmark")
 		os.Exit(2)
 	}
+	opt := softwatt.Options{Core: *coreKind, DiskPolicy: *diskPol, CheckpointDir: *ckptDir}
 
+	if *sample > 0 {
+		// Sampled estimation replaces the detailed report; the sample
+		// windows do not produce the service/profile data a run log holds.
+		if *logFile != "" || *outFile != "" {
+			fmt.Fprintln(os.Stderr, "softwatt: -sample cannot write run logs (-log/-o need a full detailed run)")
+			os.Exit(2)
+		}
+		so := softwatt.SampleOptions{
+			Windows:      *sample,
+			WindowCycles: *window,
+			Workers:      *jobs,
+			Progress:     obs.NewProgress(os.Stderr).Cell,
+		}
+		for i, bench := range benches {
+			res, err := softwatt.RunSampled(bench, opt, so)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				prof.Exit(1)
+			}
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(softwatt.RenderSampled(res))
+		}
+		return
+	}
+
+	for _, bench := range benches {
+		if path, ok := softwatt.ResumableCheckpoint(bench, opt); ok {
+			fmt.Fprintf(os.Stderr, "softwatt: %s resumes from %s\n", bench, path)
+		}
+	}
 	batch := softwatt.BatchOptions{Workers: *jobs}
 	if len(benches) > 1 {
 		batch.Progress = obs.NewProgress(os.Stderr).Cell
 	}
-	opt := softwatt.Options{Core: *coreKind, DiskPolicy: *diskPol}
 	results, err := softwatt.RunMatrixBatch(benches, nil, opt, batch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -15,10 +15,18 @@
 // -http serves live metrics and pprof during the passes; -trace records
 // the whole report generation as a Perfetto-viewable pipeline trace.
 //
+// -ckpt makes every simulated cell resumable: cells save periodic machine
+// checkpoints to the directory, and a re-run after an interruption
+// continues each unfinished cell from its last checkpoint (finished cells
+// still load from -logs). -sample/-window parameterize the s1 experiment,
+// which cross-checks the sampled-simulation estimator against a full
+// detailed run.
+//
 // Usage:
 //
-//	swreport [-j N] [-logs dir] [-http addr] [-trace file.json]
-//	         [-exp all|v1|t1|f2|f3|f4|f5|f6|f7|f8|f9|t2|t3|t4|t5|x1|x2|a1|a2]
+//	swreport [-j N] [-logs dir] [-ckpt dir] [-http addr] [-trace file.json]
+//	         [-sample N] [-window W]
+//	         [-exp all|v1|t1|f2|f3|f4|f5|f6|f7|f8|f9|t2|t3|t4|t5|x1|x2|a1|a2|s1]
 package main
 
 import (
@@ -42,6 +50,9 @@ func main() {
 	jobs := flag.Int("j", 0, "simulations to run in parallel (0 = one per CPU)")
 	logsDir := flag.String("logs", "", "run-log cache directory: load saved runs, save simulated ones")
 	coreKind := flag.String("core", "", "override every experiment's CPU model (mipsy, mxs, mxs1, swift); default: each experiment's paper configuration. swift is a functional pass: power columns are not meaningful")
+	ckptDir := flag.String("ckpt", "", "checkpoint directory: simulated cells save periodic checkpoints and resume from the last one")
+	sample := flag.Int("sample", 0, "detailed windows for the s1 sampled cross-check (0 = default 4)")
+	window := flag.Uint64("window", 0, "detailed cycles per s1 sample window (0 = default 100000)")
 	flag.Parse()
 	if err := pr.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -57,9 +68,10 @@ func main() {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"v1", "t1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "t2", "t3", "t4", "t5", "x1", "x2", "f9", "a1", "a2"}
+		ids = []string{"v1", "t1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "t2", "t3", "t4", "t5", "x1", "x2", "f9", "a1", "a2", "s1"}
 	}
-	st := &state{est: softwatt.NewEstimator(), workers: *jobs, logsDir: *logsDir, core: *coreKind}
+	st := &state{est: softwatt.NewEstimator(), workers: *jobs, logsDir: *logsDir,
+		core: *coreKind, ckptDir: *ckptDir, sampleN: *sample, windowW: *window}
 	for _, id := range ids {
 		if err := st.run(strings.TrimSpace(id)); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
@@ -73,6 +85,9 @@ type state struct {
 	workers   int
 	logsDir   string
 	core      string                // -core override; "" keeps per-experiment defaults
+	ckptDir   string                // -ckpt: resumable cells
+	sampleN   int                   // -sample: s1 window count
+	windowW   uint64                // -window: s1 window length
 	mxsRuns   []*softwatt.RunResult // cached all-benchmark MXS results
 	mipsyRuns []*softwatt.RunResult // cached all-benchmark Mipsy results
 }
@@ -91,10 +106,11 @@ func (s *state) batch() softwatt.BatchOptions {
 // set): saved logs load instead of simulating, misses simulate and save.
 // A -core override rewrites every cell's CPU model before submission.
 func (s *state) runs(specs []softwatt.RunSpec) ([]*softwatt.RunResult, error) {
-	if s.core != "" {
-		for i := range specs {
+	for i := range specs {
+		if s.core != "" {
 			specs[i].Options.Core = s.core
 		}
+		specs[i].Options.CheckpointDir = s.ckptDir
 	}
 	return softwatt.RunBatchCached(specs, s.logsDir, s.batch())
 }
@@ -347,6 +363,36 @@ func (s *state) run(id string) error {
 		fmt.Println("Internal services estimate within the paper's ~10% margin from invocation")
 		fmt.Println("counts alone; I/O syscalls need transfer-size-aware terms, as Table 5's")
 		fmt.Println("deviation analysis anticipates.")
+
+	case "s1":
+		hdr("S1 (extension): sampled simulation vs full detail (DESIGN.md §13)")
+		// The stock benchmarks are short (sampling exists for runs far past
+		// them), so the cross-check defaults to a light 4 x 100k window set.
+		so := softwatt.SampleOptions{Windows: s.sampleN, WindowCycles: s.windowW, Workers: s.workers}
+		if so.Windows == 0 {
+			so.Windows = 4
+		}
+		if so.WindowCycles == 0 {
+			so.WindowCycles = 100_000
+		}
+		sr, err := softwatt.RunSampled("compress", softwatt.Options{Core: "mipsy"}, so)
+		if err != nil {
+			return err
+		}
+		r, err := s.one("compress", softwatt.Options{Core: "mipsy"})
+		if err != nil {
+			return err
+		}
+		sum := s.est.Summarize(r)
+		exact := sum.CPUMemJ / sum.TimeSec
+		fmt.Printf("compress on mipsy, %d windows x %d cycles (%.2f%% of the run in detail):\n",
+			len(sr.Windows), sr.Windows[0].Cycles, 100*float64(sr.SampledCycles)/float64(sr.TotalCycles))
+		fmt.Printf("  sampled  %.3f W +/- %s W (95%% CI)\n", sr.MeanPowerW, softwatt.FmtCI(sr.PowerCI95W))
+		fmt.Printf("  exact    %.3f W (full detailed run)\n", exact)
+		fmt.Printf("  error    %+.2f%%\n", 100*(sr.MeanPowerW-exact)/exact)
+		fmt.Println("On stock-length runs the windows oversample the compute phases; on the")
+		fmt.Println("long phase-repeating workloads sampling exists for, the CI covers the")
+		fmt.Println("exact mean (TestSampledRunCoversExactMean).")
 
 	default:
 		return fmt.Errorf("unknown experiment id %q", id)

@@ -18,9 +18,18 @@
 // counters) while the sweep runs; -trace records the pipeline for
 // Perfetto.
 //
+// -ckpt makes the sweep preemptible: every cell saves periodic machine
+// checkpoints to the directory and an interrupted sweep resumes each cell
+// from its last checkpoint instead of from boot. -sample N replaces each
+// cell's full detailed run with a sampled estimate: the disk columns come
+// exactly from a swift fast-forward pass (the disk timeline is
+// functional), and CPU power is measured over N detailed windows of
+// -window cycles with a 95% confidence interval.
+//
 // Usage:
 //
-//	swsweep [-j N] [-q] [-logs dir] [-http addr] [-trace file.json] [benchmark ...]
+//	swsweep [-j N] [-q] [-logs dir] [-ckpt dir] [-sample N] [-window W]
+//	        [-http addr] [-trace file.json] [benchmark ...]
 package main
 
 import (
@@ -40,6 +49,9 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-cell progress on stderr")
 	logsDir := flag.String("logs", "", "run-log cache directory: load saved cells, save simulated ones")
 	coreKind := flag.String("core", "mipsy", "CPU model driving the sweep: mipsy, mxs, mxs1, or swift (fast functional pass: disk timeline without power attribution)")
+	ckptDir := flag.String("ckpt", "", "checkpoint directory: cells save periodic checkpoints and resume from the last one")
+	sample := flag.Int("sample", 0, "estimate each cell from N sampled detailed windows instead of a full run (0 = full detail)")
+	window := flag.Uint64("window", 0, "detailed cycles per sample window (0 = default 200000)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: swsweep [-j N] [-q] [-logs dir] [benchmark ...]\nbenchmarks: %v\n", softwatt.Benchmarks)
 		flag.PrintDefaults()
@@ -61,12 +73,21 @@ func main() {
 	if len(benches) == 0 {
 		benches = softwatt.Benchmarks
 	}
+
+	if *sample > 0 {
+		if err := sampledSweep(benches, *coreKind, *sample, *window, *jobs, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			prof.Exit(1)
+		}
+		return
+	}
+
 	var specs []softwatt.RunSpec
 	for _, bench := range benches {
 		for _, pol := range softwatt.DiskPolicies {
 			specs = append(specs, softwatt.RunSpec{
 				Benchmark: bench,
-				Options:   softwatt.Options{Core: *coreKind, DiskPolicy: pol},
+				Options:   softwatt.Options{Core: *coreKind, DiskPolicy: pol, CheckpointDir: *ckptDir},
 				Label:     bench + "/" + pol,
 			})
 		}
@@ -97,4 +118,47 @@ func main() {
 		}
 	}
 	fmt.Print(softwatt.RenderFig9(rows))
+}
+
+// sampledSweep reproduces the Figure 9 grid by sampled simulation. Each
+// cell's disk energy, idle cycles, and spin transitions come exactly from
+// its swift fast-forward pass; CPU power is a sampled estimate, reported
+// with its confidence interval in a second table. Cells run one after
+// another — the parallelism is inside each cell, across its detailed
+// windows.
+func sampledSweep(benches []string, coreKind string, windows int, windowCycles uint64, jobs int, quiet bool) error {
+	so := softwatt.SampleOptions{Windows: windows, WindowCycles: windowCycles, Workers: jobs}
+	if !quiet {
+		so.Progress = obs.NewProgress(os.Stderr).Cell
+	}
+	var rows []softwatt.Fig9Row
+	var sampled []*softwatt.SampledResult
+	for _, bench := range benches {
+		for _, pol := range softwatt.DiskPolicies {
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "sampling %s/%s...\n", bench, pol)
+			}
+			r, err := softwatt.RunSampled(bench, softwatt.Options{Core: coreKind, DiskPolicy: pol}, so)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", bench, pol, err)
+			}
+			rows = append(rows, softwatt.Fig9Row{
+				Benchmark:  bench,
+				Policy:     pol,
+				DiskJ:      r.DiskEnergyJ,
+				IdleCycles: r.IdleCycles,
+				Spinups:    r.DiskStats.Spinups,
+				Spindowns:  r.DiskStats.Spindowns,
+				Cycles:     r.TotalCycles,
+			})
+			sampled = append(sampled, r)
+		}
+	}
+	fmt.Print(softwatt.RenderFig9(rows))
+	fmt.Printf("\nSampled CPU power (%d windows per cell):\n", len(sampled[0].Windows))
+	for i, r := range sampled {
+		fmt.Printf("  %-10s %-12s %8.3f W +/- %s W (95%% CI)\n",
+			r.Benchmark, rows[i].Policy, r.MeanPowerW, softwatt.FmtCI(r.PowerCI95W))
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"softwatt/internal/trace"
@@ -80,8 +81,14 @@ func (e *Estimator) RenderTable5(runs []*RunResult) string {
 	fmt.Fprintf(&b, "%-12s %14s %22s %10s\n", "Service",
 		"Mean E/inv (J)", "Coeff of Deviation (%)", "Invocs")
 	for _, row := range e.ServiceVariation(runs, Table5Services) {
-		fmt.Fprintf(&b, "%-12s %14.4e %22.4f %10d\n",
-			row.Service, row.MeanEnergyJ, row.CoeffDevPct, row.Invocations)
+		// A NaN coefficient means the ratio is undefined (zero mean energy),
+		// not that there was no variation: print n/a, never 0.
+		cod := fmt.Sprintf("%22.4f", row.CoeffDevPct)
+		if math.IsNaN(row.CoeffDevPct) {
+			cod = fmt.Sprintf("%22s", "n/a")
+		}
+		fmt.Fprintf(&b, "%-12s %14.4e %s %10d\n",
+			row.Service, row.MeanEnergyJ, cod, row.Invocations)
 	}
 	return b.String()
 }

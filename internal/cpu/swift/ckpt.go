@@ -1,0 +1,29 @@
+package swift
+
+// Checkpoint support (DESIGN.md §13). Almost everything in the fast-forward
+// core is a derived cache over RAM and the functional CPU — superblocks,
+// page generations, host translation tables — rebuilt lazily and correct by
+// construction, so only the retirement counter and statistics serialise.
+// Restore must happen on a core that has not executed yet (a freshly built
+// machine): its caches are empty, and the restored RAM contents are what
+// the first lookups will decode.
+
+import "softwatt/internal/ckpt"
+
+// EncodeState serialises the core's counters.
+func (c *Core) EncodeState(w *ckpt.Writer) {
+	w.U64(c.committed)
+	w.U64(c.stats.Hits)
+	w.U64(c.stats.Misses)
+	w.U64(c.stats.Invalidations)
+	w.U64(c.stats.SlowSteps)
+}
+
+// DecodeState restores counters written by EncodeState.
+func (c *Core) DecodeState(r *ckpt.Reader) {
+	c.committed = r.U64()
+	c.stats.Hits = r.U64()
+	c.stats.Misses = r.U64()
+	c.stats.Invalidations = r.U64()
+	c.stats.SlowSteps = r.U64()
+}

@@ -188,6 +188,15 @@ type Machine struct {
 
 	// DebugStep, when set, observes every committed instruction.
 	DebugStep func(cycle uint64, info *arch.StepInfo)
+
+	// customCore marks machines whose core was replaced post-construction
+	// (NewWithMXSWindow): RestoreState cannot rebuild such a core, so
+	// checkpointing is refused rather than silently changing the window.
+	customCore bool
+
+	// lastCkptLen sizes the next Checkpoint's buffer from the previous
+	// payload, keeping the periodic-checkpoint path a single allocation.
+	lastCkptLen int
 }
 
 // New builds a machine, loads the kernel, and stages the workload. The
@@ -269,14 +278,39 @@ func New(cfg Config, w Workload) (*Machine, error) {
 	// 64 bytes, and only RAM reads are side-effect-free. The swift core
 	// skips it: superblocks are its decode cache, and the table's per-run
 	// allocation is measurable against a fast-forward pass.
-	pdLimit := uint32(kern.MMIOBase)
-	if uint64(cfg.RAMBytes) < uint64(kern.MMIOBase) {
-		pdLimit = uint32(cfg.RAMBytes)
-	}
 	if cfg.Core != CoreSwift {
-		m.cpu.EnablePredecode(pdLimit)
+		m.cpu.EnablePredecode(m.pdLimit())
 	}
-	switch cfg.Core {
+	if err := m.newCore(); err != nil {
+		return nil, err
+	}
+	m.timerNext = math.MaxUint64 // armed when the kernel writes the interval
+	m.obsNext = math.MaxUint64
+	if obs.MetricsEnabled() {
+		m.tele = newTelemetry()
+		m.tele.oooCore = cfg.Core != CoreMipsy
+		m.obsNext = obsIntervalCycles
+	}
+	m.commit = m.commitFn
+	return m, nil
+}
+
+// pdLimit returns the predecode/fast-path bound: RAM below the MMIO window.
+func (m *Machine) pdLimit() uint32 {
+	limit := uint32(kern.MMIOBase)
+	if uint64(m.cfg.RAMBytes) < uint64(kern.MMIOBase) {
+		limit = uint32(m.cfg.RAMBytes)
+	}
+	return limit
+}
+
+// newCore (re)builds the timing core for the configured kind over the
+// machine's current functional state, rebinding the event/batch interfaces.
+// Called at construction and again by RestoreState, where the rebuild
+// re-points construction-time state (MXS fetch PC, collector drain) at the
+// restored CPU.
+func (m *Machine) newCore() error {
+	switch m.cfg.Core {
 	case CoreMipsy:
 		m.core = mipsy.New(m.cpu, m.hier, m.col)
 	case CoreMXS:
@@ -287,23 +321,15 @@ func New(cfg Config, w Workload) (*Machine, error) {
 		c.IntUnits, c.FPUnits = 1, 1
 		m.core = mxs.New(m.cpu, m.hier, m.col, m, c)
 	case CoreSwift:
-		m.core = swift.New(m.cpu, m.ram, m, pdLimit)
+		m.core = swift.New(m.cpu, m.ram, m, m.pdLimit())
 	case CoreSwiftRef:
 		m.core = swift.NewReference(m.cpu, m)
 	default:
-		return nil, fmt.Errorf("machine: unknown core kind %d", cfg.Core)
+		return fmt.Errorf("machine: unknown core kind %d", m.cfg.Core)
 	}
 	m.evc, _ = m.core.(eventCore)
 	m.bc, _ = m.core.(batchCore)
-	m.timerNext = math.MaxUint64 // armed when the kernel writes the interval
-	m.obsNext = math.MaxUint64
-	if obs.MetricsEnabled() {
-		m.tele = newTelemetry()
-		m.tele.oooCore = cfg.Core != CoreMipsy
-		m.obsNext = obsIntervalCycles
-	}
-	m.commit = m.commitFn
-	return m, nil
+	return nil
 }
 
 // NewWithMXSWindow builds a machine whose MXS core uses a custom
@@ -321,6 +347,7 @@ func NewWithMXSWindow(cfg Config, w Workload, window int) (*Machine, error) {
 	}
 	m.core = mxs.New(m.cpu, m.hier, m.col, m, c)
 	m.evc, _ = m.core.(eventCore)
+	m.customCore = true
 	return m, nil
 }
 

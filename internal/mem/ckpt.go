@@ -1,0 +1,127 @@
+package mem
+
+// Checkpoint support (DESIGN.md §13).
+//
+// RAM rides on the dirty-page bitmap: pages start zero and every write path
+// marks the pages it touches, so the dirty set is a superset of every byte
+// that can differ from zero. A checkpoint therefore stores only the dirty
+// pages; restoring them onto a freshly built machine (whose own boot writes
+// marked a subset of the same pages, the boot being deterministic)
+// reproduces the full byte image. Restore copies page contents IN PLACE —
+// the swift core and the disk DMA path cache the Bytes() slice, so the
+// backing array must never be reallocated.
+//
+// Caches serialise their full tag/LRU/counter state: tags decide future
+// hits and misses, which feed both timing and the power model's structure
+// access counts, so byte-identical continuation requires the exact array.
+
+import "softwatt/internal/ckpt"
+
+// EncodeState serialises the RAM's dirty pages.
+func (r *RAM) EncodeState(w *ckpt.Writer) {
+	w.U64(uint64(len(r.data)))
+	var pages uint32
+	for _, word := range r.dirty {
+		for ; word != 0; word &= word - 1 {
+			pages++
+		}
+	}
+	w.U32(pages)
+	for wi, word := range r.dirty {
+		for b := 0; b < 64; b++ {
+			if word&(1<<b) == 0 {
+				continue
+			}
+			off := (wi*64 + b) << ramPageShift
+			end := off + ramPageSize
+			if end > len(r.data) {
+				end = len(r.data)
+			}
+			w.U32(uint32(wi*64 + b))
+			w.Raw(r.data[off:end])
+		}
+	}
+}
+
+// DecodeState restores dirty-page contents written by EncodeState into the
+// existing backing store, marking each restored page dirty. The RAM must
+// have the same size as the encoded one.
+func (r *RAM) DecodeState(rd *ckpt.Reader) {
+	if size := rd.U64(); size != uint64(len(r.data)) {
+		rd.Corrupt("RAM size %d does not match machine's %d", size, len(r.data))
+		return
+	}
+	pages := int(rd.U32())
+	maxPage := (len(r.data) + ramPageSize - 1) >> ramPageShift
+	for i := 0; i < pages; i++ {
+		p := int(rd.U32())
+		if rd.Err() != nil {
+			return
+		}
+		if p >= maxPage {
+			rd.Corrupt("RAM page index %d out of range (max %d)", p, maxPage)
+			return
+		}
+		off := p << ramPageShift
+		end := off + ramPageSize
+		if end > len(r.data) {
+			end = len(r.data)
+		}
+		b := rd.Raw(end - off)
+		if b == nil {
+			return
+		}
+		copy(r.data[off:end], b)
+		r.dirty[p>>6] |= 1 << (p & 63)
+	}
+}
+
+// EncodeState serialises the cache's complete line array and counters.
+func (c *Cache) EncodeState(w *ckpt.Writer) {
+	w.U32(uint32(len(c.lines)))
+	for i := range c.lines {
+		l := &c.lines[i]
+		w.U32(l.tag)
+		w.Bool(l.valid)
+		w.Bool(l.dirty)
+		w.U64(l.lru)
+	}
+	w.U64(c.tick)
+	w.U64(c.Hits)
+	w.U64(c.Misses)
+	w.U64(c.Writebacks)
+}
+
+// DecodeState restores state written by EncodeState. The cache geometry
+// must match the encoded one.
+func (c *Cache) DecodeState(r *ckpt.Reader) {
+	if n := r.U32(); n != uint32(len(c.lines)) {
+		r.Corrupt("cache %s: %d encoded lines, geometry has %d", c.cfg.Name, n, len(c.lines))
+		return
+	}
+	for i := range c.lines {
+		l := &c.lines[i]
+		l.tag = r.U32()
+		l.valid = r.Bool()
+		l.dirty = r.Bool()
+		l.lru = r.U64()
+	}
+	c.tick = r.U64()
+	c.Hits = r.U64()
+	c.Misses = r.U64()
+	c.Writebacks = r.U64()
+}
+
+// EncodeState serialises all three cache arrays.
+func (h *Hierarchy) EncodeState(w *ckpt.Writer) {
+	h.L1I.EncodeState(w)
+	h.L1D.EncodeState(w)
+	h.L2.EncodeState(w)
+}
+
+// DecodeState restores all three cache arrays.
+func (h *Hierarchy) DecodeState(r *ckpt.Reader) {
+	h.L1I.DecodeState(r)
+	h.L1D.DecodeState(r)
+	h.L2.DecodeState(r)
+}

@@ -51,6 +51,12 @@ type BatchMetrics struct {
 	// LogCacheHits/Misses count run-log cache outcomes (RunBatchCached).
 	LogCacheHits   *Counter
 	LogCacheMisses *Counter
+	// LogCacheCorrupt counts cache files that existed but failed to load —
+	// a corrupted or truncated log, distinct from a plain miss.
+	LogCacheCorrupt *Counter
+	// CheckpointCorrupt counts resumable-run checkpoints that existed but
+	// failed to read or restore (the run restarts from boot).
+	CheckpointCorrupt *Counter
 }
 
 var (
@@ -80,6 +86,10 @@ func Batch() *BatchMetrics {
 				"Run-log cache lookups answered from a saved log.", ""),
 			LogCacheMisses: def.Counter("softwatt_logcache_misses_total",
 				"Run-log cache lookups that had to simulate.", ""),
+			LogCacheCorrupt: def.Counter("softwatt_logcache_corrupt_total",
+				"Run-log cache files present but unreadable (corrupt/truncated).", ""),
+			CheckpointCorrupt: def.Counter("softwatt_checkpoint_corrupt_total",
+				"Resumable-run checkpoints present but unusable (run restarted from boot).", ""),
 		}
 	})
 	return batch

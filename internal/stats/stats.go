@@ -64,13 +64,49 @@ func (w *Welford) Variance() float64 {
 func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
 
 // CoeffDeviationPct returns the coefficient of deviation (stddev/mean) as a
-// percentage, the metric used by the paper's Table 5. Returns 0 when the
-// mean is zero.
+// percentage, the metric used by the paper's Table 5. The ratio is undefined
+// for a zero mean, so that case returns NaN rather than 0 — a zero would
+// silently render a spread-out stream as "no variation" (report formatters
+// print NaN as "n/a").
 func (w *Welford) CoeffDeviationPct() float64 {
 	if w.mean == 0 {
-		return 0
+		return math.NaN()
 	}
 	return 100 * w.StdDev() / math.Abs(w.mean)
+}
+
+// SampleVariance returns the unbiased (n-1 denominator) sample variance,
+// the estimator the sampled-simulation confidence intervals need. Undefined
+// (NaN) with fewer than two observations.
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// tTable95 holds two-sided 95% Student-t multipliers indexed by degrees of
+// freedom (1..30); beyond 30 the normal multiplier 1.96 is used.
+var tTable95 = [31]float64{0,
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half-width of the two-sided 95% confidence interval on
+// the mean, t·sqrt(s²/n) with the Student-t multiplier for n-1 degrees of
+// freedom (exact for small n, 1.96 beyond 30). NaN with fewer than two
+// observations, where the interval is undefined.
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	df := w.n - 1
+	t := 1.96
+	if df <= 30 {
+		t = tTable95[df]
+	}
+	return t * math.Sqrt(w.SampleVariance()/float64(w.n))
 }
 
 // Merge folds another aggregate into w (Chan et al. parallel combination).

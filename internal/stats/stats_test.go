@@ -53,8 +53,11 @@ func TestWelfordMergeEqualsSequential(t *testing.T) {
 
 func TestWelfordEmptyAndMergeEmpty(t *testing.T) {
 	var w Welford
-	if w.Mean() != 0 || w.Variance() != 0 || w.CoeffDeviationPct() != 0 {
+	if w.Mean() != 0 || w.Variance() != 0 {
 		t.Fatal("empty aggregate not zero")
+	}
+	if !math.IsNaN(w.CoeffDeviationPct()) {
+		t.Fatalf("empty aggregate CoD = %v, want NaN (undefined)", w.CoeffDeviationPct())
 	}
 	var a Welford
 	a.Add(5)
@@ -66,6 +69,71 @@ func TestWelfordEmptyAndMergeEmpty(t *testing.T) {
 	b.Merge(a)
 	if b.N() != 1 || b.Mean() != 5 {
 		t.Fatal("merge into empty wrong")
+	}
+}
+
+// TestWelfordCoDZeroMean: a zero mean with nonzero spread used to report a
+// coefficient of deviation of 0 — indistinguishable from "no variation".
+// The ratio is undefined there; it must come back NaN.
+func TestWelfordCoDZeroMean(t *testing.T) {
+	var w Welford
+	w.Add(-3)
+	w.Add(3)
+	if w.Mean() != 0 || w.StdDev() == 0 {
+		t.Fatalf("setup: mean=%v stddev=%v", w.Mean(), w.StdDev())
+	}
+	if !math.IsNaN(w.CoeffDeviationPct()) {
+		t.Fatalf("CoD with zero mean and spread %v = %v, want NaN",
+			w.StdDev(), w.CoeffDeviationPct())
+	}
+}
+
+func TestWelfordSampleVariance(t *testing.T) {
+	var w Welford
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(v)
+	}
+	// Population variance is 4 over n=8; sample variance is m2/(n-1) = 32/7.
+	if got, want := w.SampleVariance(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sample variance %v, want %v", got, want)
+	}
+	var short Welford
+	if !math.IsNaN(short.SampleVariance()) {
+		t.Fatal("sample variance of empty aggregate must be NaN")
+	}
+	short.Add(1)
+	if !math.IsNaN(short.SampleVariance()) {
+		t.Fatal("sample variance of single observation must be NaN")
+	}
+}
+
+func TestWelfordCI95(t *testing.T) {
+	// n=2: df=1, t=12.706. Observations 0 and 2: mean 1, s²=2, se=1.
+	var w Welford
+	w.Add(0)
+	w.Add(2)
+	if got := w.CI95(); math.Abs(got-12.706) > 1e-9 {
+		t.Fatalf("n=2 CI95 half-width %v, want 12.706", got)
+	}
+	// Large n approaches the normal multiplier: 1000 alternating ±1 around
+	// 10 has s ≈ 1.0005, so the half-width is close to 1.96/sqrt(1000).
+	var big Welford
+	for i := 0; i < 1000; i++ {
+		big.Add(10 + float64(1-2*(i%2)))
+	}
+	se := math.Sqrt(big.SampleVariance() / 1000)
+	if got, want := big.CI95(), 1.96*se; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("large-n CI95 %v, want %v", got, want)
+	}
+	// The interval must actually cover the mean of the generating process
+	// here (symmetric observations around 10).
+	if math.Abs(big.Mean()-10) > big.CI95() {
+		t.Fatalf("CI [%v ± %v] misses 10", big.Mean(), big.CI95())
+	}
+	var short Welford
+	short.Add(5)
+	if !math.IsNaN(short.CI95()) {
+		t.Fatal("CI95 with n<2 must be NaN")
 	}
 }
 

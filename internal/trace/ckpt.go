@@ -1,0 +1,227 @@
+package trace
+
+// Checkpoint support (DESIGN.md §13): serialisation of the collector's
+// complete accumulation state, and the CKPT file container.
+//
+// The collector must round-trip everything that influences future output —
+// the current attribution context, the open sample window, all flushed
+// windows, the per-service aggregates (including open invocation
+// accumulators and Welford energy state), totals, and the flush bound.
+// The two callbacks are wiring, not state: drain is registered by the
+// timing model at construction and energyFn by the estimator facade, both
+// on whatever machine the collector now belongs to.
+//
+// A checkpoint file reuses the v2 log container — magic, version 2, one
+// CKPT section, END — so existing v2 readers skip it (unknown-section
+// rule) rather than choking, and the format stays self-describing.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"softwatt/internal/ckpt"
+	"softwatt/internal/stats"
+)
+
+var tagCkpt = [4]byte{'C', 'K', 'P', 'T'}
+
+func encodeBucket(w *ckpt.Writer, b *Bucket) {
+	for _, u := range b.Units {
+		w.U64(u)
+	}
+	w.U64(b.Cycles)
+	w.U64(b.Insts)
+}
+
+func decodeBucket(r *ckpt.Reader, b *Bucket) {
+	for i := range b.Units {
+		b.Units[i] = r.U64()
+	}
+	b.Cycles = r.U64()
+	b.Insts = r.U64()
+}
+
+func encodeSample(w *ckpt.Writer, s *Sample) {
+	w.U64(s.Start)
+	w.U64(s.End)
+	for m := range s.Mode {
+		encodeBucket(w, &s.Mode[m])
+	}
+}
+
+func decodeSample(r *ckpt.Reader, s *Sample) {
+	s.Start = r.U64()
+	s.End = r.U64()
+	for m := range s.Mode {
+		decodeBucket(r, &s.Mode[m])
+	}
+}
+
+func encodeWelford(w *ckpt.Writer, st stats.WelfordState) {
+	w.U64(st.N)
+	w.F64(st.Mean)
+	w.F64(st.M2)
+	w.F64(st.Min)
+	w.F64(st.Max)
+}
+
+func decodeWelford(r *ckpt.Reader) stats.WelfordState {
+	return stats.WelfordState{
+		N: r.U64(), Mean: r.F64(), M2: r.F64(), Min: r.F64(), Max: r.F64(),
+	}
+}
+
+// EncodeState serialises the collector's complete accumulation state.
+func (c *Collector) EncodeState(w *ckpt.Writer) {
+	c.drainPending() // batched units must land before the state is frozen
+	w.U64(c.WindowCycles)
+	w.U8(uint8(c.mode))
+	w.U8(uint8(c.svc))
+	encodeSample(w, &c.cur)
+	w.U32(uint32(len(c.samples)))
+	for i := range c.samples {
+		encodeSample(w, &c.samples[i])
+	}
+	for i := range c.services {
+		st := &c.services[i]
+		w.U64(st.Invocations)
+		encodeBucket(w, &st.Total)
+		encodeWelford(w, st.EnergyPerInv.State())
+	}
+	for i := range c.invAcc {
+		encodeBucket(w, &c.invAcc[i])
+	}
+	w.U64(c.totalCycles)
+	w.U64(c.totalInsts)
+	w.U64(c.nextFlush)
+}
+
+// DecodeState restores state written by EncodeState. The collector's
+// window size must match the encoded one (it is part of the machine
+// configuration). Callbacks (drain, energyFn) are left untouched.
+func (c *Collector) DecodeState(r *ckpt.Reader) {
+	if wc := r.U64(); wc != c.WindowCycles {
+		r.Corrupt("collector window %d does not match machine's %d", wc, c.WindowCycles)
+		return
+	}
+	mode := r.U8()
+	if mode >= uint8(NumModes) {
+		r.Corrupt("collector mode %d out of range", mode)
+		return
+	}
+	c.mode = Mode(mode)
+	svc := r.U8()
+	if svc >= uint8(NumSvc) {
+		r.Corrupt("collector svc %d out of range", svc)
+		return
+	}
+	c.svc = Svc(svc)
+	decodeSample(r, &c.cur)
+	n := r.Count(sampleBytes)
+	c.samples = make([]Sample, n)
+	for i := range c.samples {
+		decodeSample(r, &c.samples[i])
+	}
+	for i := range c.services {
+		st := &c.services[i]
+		st.Invocations = r.U64()
+		decodeBucket(r, &st.Total)
+		st.EnergyPerInv = stats.WelfordFromState(decodeWelford(r))
+	}
+	for i := range c.invAcc {
+		decodeBucket(r, &c.invAcc[i])
+	}
+	c.totalCycles = r.U64()
+	c.totalInsts = r.U64()
+	c.nextFlush = r.U64()
+}
+
+// WriteCheckpoint wraps an encoded machine checkpoint payload in the v2
+// log container: magic, version, a single CKPT section, END.
+func WriteCheckpoint(w io.Writer, payload []byte) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	var hdr [8]byte
+	le.PutUint32(hdr[0:], logMagic)
+	le.PutUint32(hdr[4:], logVersion2)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(tagCkpt[:]); err != nil {
+		return err
+	}
+	var size [8]byte
+	le.PutUint64(size[:], uint64(len(payload)))
+	if _, err := bw.Write(size[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(payload); err != nil {
+		return err
+	}
+	if _, err := bw.Write(tagEnd[:]); err != nil {
+		return err
+	}
+	le.PutUint64(size[:], 0)
+	if _, err := bw.Write(size[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint extracts the CKPT payload from a checkpoint container
+// written by WriteCheckpoint. Unknown sections are skipped (same rule as
+// run records); a container without a CKPT section is an error. Counts are
+// never trusted for allocation: the payload is read incrementally, so a
+// lying size field fails with an error rather than an enormous allocation.
+func ReadCheckpoint(r io.Reader) ([]byte, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: checkpoint header: %w", err)
+	}
+	le := binary.LittleEndian
+	if m := le.Uint32(hdr[0:]); m != logMagic {
+		return nil, fmt.Errorf("trace: bad checkpoint magic %#x", m)
+	}
+	if v := le.Uint32(hdr[4:]); v != logVersion2 {
+		return nil, fmt.Errorf("trace: unsupported checkpoint version %d", v)
+	}
+	var payload []byte
+	for {
+		var sh [12]byte
+		if _, err := io.ReadFull(br, sh[:]); err != nil {
+			return nil, fmt.Errorf("trace: checkpoint section header: %w", err)
+		}
+		var tag [4]byte
+		copy(tag[:], sh[0:4])
+		size := le.Uint64(sh[4:])
+		if tag == tagEnd {
+			if payload == nil {
+				return nil, fmt.Errorf("trace: checkpoint container has no CKPT section")
+			}
+			return payload, nil
+		}
+		if size > maxSkippedBytes {
+			return nil, fmt.Errorf("trace: checkpoint section %q too large (%d bytes)", tag[:], size)
+		}
+		if tag == tagCkpt {
+			if payload != nil {
+				return nil, fmt.Errorf("trace: duplicate CKPT section")
+			}
+			data, err := io.ReadAll(io.LimitReader(br, int64(size)))
+			if err != nil {
+				return nil, fmt.Errorf("trace: checkpoint payload: %w", err)
+			}
+			if uint64(len(data)) != size {
+				return nil, fmt.Errorf("trace: checkpoint payload truncated (%d of %d bytes)", len(data), size)
+			}
+			payload = data
+			continue
+		}
+		if _, err := io.CopyN(io.Discard, br, int64(size)); err != nil {
+			return nil, fmt.Errorf("trace: skipping checkpoint section %q: %w", tag[:], err)
+		}
+	}
+}

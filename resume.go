@@ -1,0 +1,143 @@
+package softwatt
+
+// Resumable runs (DESIGN.md §13). With Options.CheckpointDir set, a run
+// periodically saves a machine checkpoint and, on restart, continues from
+// the last one instead of re-simulating from boot. Checkpoint files are
+// keyed by the run's configuration digest — the same key the log cache
+// uses — so a checkpoint never answers for a different configuration, and
+// are written atomically (temp + rename) so an interrupted save leaves the
+// previous complete checkpoint in place. Restoration is bit-invisible:
+// the continued run serialises to the same result bytes as an
+// uninterrupted one (see TestCheckpointEquivalence), so resumability does
+// not participate in the configuration digest.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"softwatt/internal/core"
+	"softwatt/internal/machine"
+	"softwatt/internal/obs"
+	"softwatt/internal/trace"
+)
+
+// defaultCheckpointEvery is the default checkpoint interval in cycles:
+// frequent enough that an interrupted multi-billion-cycle run loses
+// minutes, rare enough that checkpoint I/O never shows in the profile.
+const defaultCheckpointEvery = 500_000_000
+
+// CheckpointFileName is the checkpoint file name a resumable run of the
+// benchmark under this configuration uses within CheckpointDir. MaxCycles
+// is excluded from the key (as from the machine's restore fingerprint): a
+// checkpoint is valid under any cycle budget, and the budget is exactly
+// what changes when an out-of-budget run is retried with a larger one.
+func CheckpointFileName(benchmark string, cfg machine.Config) string {
+	cfg.MaxCycles = 0
+	digest := core.ConfigDigest(benchmark, cfg.Core.String(), core.ConfigEntries(cfg))
+	return fmt.Sprintf("%s-%s.swckpt", benchmark, digest)
+}
+
+// writeCheckpointFile atomically writes a checkpoint container.
+func writeCheckpointFile(path string, payload []byte) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := trace.WriteCheckpoint(f, payload); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// resumeMachine restores the checkpoint at path into m, if one exists. A
+// missing file is a normal fresh start. A checkpoint that exists but fails
+// to read or restore is surfaced (counter + warning) and the run restarts
+// from boot on a rebuilt machine — a half-restored machine is never used.
+func resumeMachine(m *machine.Machine, cfg machine.Config, w machine.Workload, path string) (*machine.Machine, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return m, nil
+	}
+	rerr := err
+	if rerr == nil {
+		var payload []byte
+		if payload, rerr = trace.ReadCheckpoint(bytes.NewReader(data)); rerr == nil {
+			rerr = m.RestoreState(payload)
+		}
+	}
+	if rerr == nil {
+		return m, nil
+	}
+	obs.Batch().CheckpointCorrupt.Inc()
+	fmt.Fprintf(os.Stderr, "softwatt: unusable checkpoint %s (restarting from boot): %v\n", path, rerr)
+	os.Remove(path)
+	m.Release()
+	return machine.New(cfg, w)
+}
+
+// runCheckpointed drives a machine to completion in checkpoint-interval
+// chunks, saving after each chunk. The cycle budget is the configured
+// MaxCycles measured from boot, so a resumed run keeps the same overall
+// bound as a fresh one.
+func runCheckpointed(m *machine.Machine, path string, every uint64, cfg machine.Config) error {
+	if every == 0 {
+		every = defaultCheckpointEvery
+	}
+	limit := cfg.MaxCycles
+	for !m.Halted() && m.Cycle() < limit {
+		chunk := every
+		if rem := limit - m.Cycle(); rem < chunk {
+			chunk = rem
+		}
+		m.StepCycles(chunk)
+		if m.Halted() {
+			break
+		}
+		if err := writeCheckpointFile(path, m.Checkpoint()); err != nil {
+			return fmt.Errorf("softwatt: writing checkpoint: %w", err)
+		}
+	}
+	if !m.Halted() {
+		return fmt.Errorf("machine: %s did not halt within %d cycles (pc=%08x)",
+			m.Config().Core, limit, m.CPU().PC)
+	}
+	m.Disk().FinishEnergy(m.Cycle())
+	os.Remove(path)
+	return nil
+}
+
+// ResumableCheckpoint reports whether a resumable checkpoint exists for
+// the benchmark under these options (CLI status lines).
+func ResumableCheckpoint(benchmark string, opt Options) (string, bool) {
+	if opt.CheckpointDir == "" {
+		return "", false
+	}
+	cfg, err := opt.MachineConfig()
+	if err != nil {
+		return "", false
+	}
+	path := filepath.Join(opt.CheckpointDir, CheckpointFileName(benchmark, cfg))
+	if _, err := os.Stat(path); err != nil {
+		return "", false
+	}
+	return path, true
+}

@@ -1,0 +1,96 @@
+package softwatt
+
+// Resumable-run tests: an interrupted run that left a checkpoint must
+// continue from it and produce byte-identical results to an uninterrupted
+// run; an unusable checkpoint must be surfaced and the run restarted from
+// boot rather than trusted.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"softwatt/internal/obs"
+)
+
+func TestResumableRunBitIdentical(t *testing.T) {
+	straight, err := Run("compress", Options{Core: "mipsy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	// "Interrupt" the run: a cycle budget too small to finish leaves the
+	// last periodic checkpoint behind.
+	interrupted := Options{Core: "mipsy", CheckpointDir: dir,
+		CheckpointEvery: 200_000, MaxCycles: 600_000}
+	if _, err := Run("compress", interrupted); err == nil {
+		t.Fatal("interrupted run unexpectedly completed; raise the real run length")
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.swckpt"))
+	if len(files) != 1 {
+		t.Fatalf("interrupted run left %d checkpoints, want 1: %v", len(files), files)
+	}
+
+	// Resume with the full budget. CheckpointDir and the interval are not
+	// part of the configuration digest, so the result must answer for the
+	// plain options — and byte-identically so.
+	resumed, err := Run("compress", Options{Core: "mipsy", CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb, rb bytes.Buffer
+	if err := SaveResult(&sb, straight); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveResult(&rb, resumed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb.Bytes(), rb.Bytes()) {
+		t.Fatalf("resumed run differs from straight run: %d vs %d bytes, first difference at byte %d",
+			sb.Len(), rb.Len(), firstDiff(sb.Bytes(), rb.Bytes()))
+	}
+
+	// Completion removes the checkpoint.
+	files, _ = filepath.Glob(filepath.Join(dir, "*.swckpt"))
+	if len(files) != 0 {
+		t.Fatalf("completed run left checkpoints behind: %v", files)
+	}
+}
+
+func TestResumableRunHealsCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{Core: "mipsy", CheckpointDir: dir}
+	cfg, err := opt.MachineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, CheckpointFileName("compress", cfg))
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	before := obs.Batch().CheckpointCorrupt.Value()
+	r, err := Run("compress", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Batch().CheckpointCorrupt.Value(); got != before+1 {
+		t.Fatalf("corrupt checkpoint bumped counter by %d, want 1", got-before)
+	}
+	straight, err := Run("compress", Options{Core: "mipsy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb, rb bytes.Buffer
+	if err := SaveResult(&sb, straight); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveResult(&rb, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb.Bytes(), rb.Bytes()) {
+		t.Fatal("run restarted from a corrupt checkpoint differs from a straight run")
+	}
+}

@@ -10,8 +10,10 @@ package softwatt
 // by a digest of the resolved configuration.
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 
@@ -142,10 +144,12 @@ func CacheFileName(spec RunSpec) (string, error) {
 // RunBatchCached is RunBatch backed by a directory of saved run logs. A
 // cell whose log is present (matched by configuration digest) loads
 // instead of simulating; the remaining cells simulate on the parallel
-// engine, each cell's log written as it completes. An unreadable or
-// mismatched log file is treated as a miss and rewritten. Progress and
-// OnResult fire only for simulated cells, so a fully warm cache performs
-// zero simulations. An empty dir disables caching.
+// engine, each cell's log written as it completes. A mismatched log file
+// is treated as a miss and rewritten; a log that exists but fails to load
+// is also re-simulated, but counted and warned about (corruption is a
+// signal, not business as usual). OnResult fires only for simulated cells,
+// so a fully warm cache performs zero simulations; Progress reports over
+// all cells, with cache hits counted as already done.
 func RunBatchCached(specs []RunSpec, dir string, b BatchOptions) ([]*RunResult, error) {
 	if dir == "" {
 		return RunBatch(specs, b)
@@ -154,6 +158,7 @@ func RunBatchCached(specs []RunSpec, dir string, b BatchOptions) ([]*RunResult, 
 	var missIdx []int
 	var missSpecs []RunSpec
 	var missPaths []string
+	var hitLabels []string
 	for i, sp := range specs {
 		digest, err := SpecDigest(sp)
 		if err != nil {
@@ -164,15 +169,39 @@ func RunBatchCached(specs []RunSpec, dir string, b BatchOptions) ([]*RunResult, 
 			return nil, err
 		}
 		path := filepath.Join(dir, name)
-		if r, err := LoadResultFile(path); err == nil && ResultDigest(r) == digest {
+		r, err := LoadResultFile(path)
+		if err == nil && ResultDigest(r) == digest {
 			obs.Batch().LogCacheHits.Inc()
 			results[i] = r
+			hitLabels = append(hitLabels, sp.label())
 			continue
+		}
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			// The file is there but unreadable: a corrupted or truncated
+			// log. Still a miss (re-simulating rewrites it), but one worth
+			// surfacing — silent re-simulation hides data loss.
+			obs.Batch().LogCacheCorrupt.Inc()
+			fmt.Fprintf(os.Stderr, "softwatt: corrupt run log %s (re-simulating): %v\n", path, err)
 		}
 		obs.Batch().LogCacheMisses.Inc()
 		missIdx = append(missIdx, i)
 		missSpecs = append(missSpecs, sp)
 		missPaths = append(missPaths, path)
+	}
+	// Progress covers every cell of the sweep, not just the simulated ones:
+	// each hit is reported as done immediately, and the simulated cells'
+	// completions are offset past them. Without this a partially warm cache
+	// reported e.g. "3/3" for a 10-cell sweep.
+	total := len(specs)
+	hits := len(hitLabels)
+	if b.Progress != nil {
+		for k, label := range hitLabels {
+			b.Progress(k+1, total, label, nil)
+		}
+		innerProgress := b.Progress
+		b.Progress = func(done, _ int, label string, err error) {
+			innerProgress(hits+done, total, label, err)
+		}
 	}
 	if len(missSpecs) == 0 {
 		return results, nil

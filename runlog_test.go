@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"sync/atomic"
 	"testing"
+
+	"softwatt/internal/obs"
 )
 
 // TestLogsVsLiveEquivalence is the acceptance check for the run-log
@@ -113,6 +115,89 @@ func TestRunBatchCached(t *testing.T) {
 	}
 	if est.RenderProfile(healed[1], "x") != est.RenderProfile(cold[1], "x") {
 		t.Fatal("healed cell differs from original")
+	}
+}
+
+// TestCachedProgressCoversAllCells is the regression test for the
+// partially-warm-cache progress bug: Progress used to fire with
+// total = len(missSpecs), so a sweep with cache hits reported e.g. "1/1"
+// for a 2-cell sweep. Every Progress call must report the full cell count,
+// hits included, and the final call must be done == total.
+func TestCachedProgressCoversAllCells(t *testing.T) {
+	dir := t.TempDir()
+	specs := []RunSpec{
+		{Benchmark: "compress", Options: Options{Core: "mipsy"}},
+		{Benchmark: "jess", Options: Options{Core: "mipsy"}},
+	}
+
+	// Warm exactly one cell.
+	if _, err := RunBatchCached(specs[:1], dir, BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	type call struct {
+		done, total int
+		label       string
+	}
+	var calls []call
+	b := BatchOptions{
+		Workers: 1,
+		Progress: func(done, total int, label string, err error) {
+			calls = append(calls, call{done, total, label})
+		},
+	}
+	if _, err := RunBatchCached(specs, dir, b); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2 {
+		t.Fatalf("progress fired %d times, want 2 (hit + miss): %+v", len(calls), calls)
+	}
+	for _, c := range calls {
+		if c.total != len(specs) {
+			t.Fatalf("progress total = %d, want %d (all cells): %+v", c.total, len(specs), calls)
+		}
+	}
+	last := calls[len(calls)-1]
+	if last.done != len(specs) {
+		t.Fatalf("final progress done = %d, want %d: %+v", last.done, len(specs), calls)
+	}
+	if calls[0] != (call{1, 2, "compress"}) {
+		t.Fatalf("cache hit not reported first: %+v", calls)
+	}
+}
+
+// TestCachedCorruptLogCounted: a cache file that exists but cannot load is
+// a distinct observable event from a plain not-exist miss — it must bump
+// the corrupt counter; a cold miss must not.
+func TestCachedCorruptLogCounted(t *testing.T) {
+	dir := t.TempDir()
+	spec := RunSpec{Benchmark: "compress", Options: Options{Core: "mipsy"}}
+
+	before := obs.Batch().LogCacheCorrupt.Value()
+	if _, err := RunBatchCached([]RunSpec{spec}, dir, BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Batch().LogCacheCorrupt.Value(); got != before {
+		t.Fatalf("cold miss bumped corrupt counter by %d", got-before)
+	}
+
+	name, err := CacheFileName(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var simulated atomic.Int64
+	b := BatchOptions{OnResult: func(int, string, *RunResult) error { simulated.Add(1); return nil }}
+	if _, err := RunBatchCached([]RunSpec{spec}, dir, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Batch().LogCacheCorrupt.Value(); got != before+1 {
+		t.Fatalf("corrupt log bumped counter by %d, want 1", got-before)
+	}
+	if simulated.Load() != 1 {
+		t.Fatal("corrupt log did not re-simulate")
 	}
 }
 

@@ -1,0 +1,340 @@
+package softwatt
+
+// SMARTS-style sampled simulation (DESIGN.md §13). A full detailed run
+// spends almost all its wall-clock simulating cycles whose power looks like
+// their neighbours'. Sampling replaces it with two phases:
+//
+//  1. a single swift fast-forward pass to the end. It measures the run's
+//     length and the disk's exact activity (functional behaviour — and
+//     therefore every disk request — is identical on every core), and it
+//     keeps a decimating reservoir of machine checkpoints: one every
+//     `interval` cycles, and whenever the reservoir fills, every other
+//     entry is dropped and the interval doubles. The run's length need not
+//     be known in advance, yet the pass ends with N..2N evenly spaced
+//     checkpoints in constant memory — and the fast-forward happens once,
+//     not once to measure and again to checkpoint.
+//  2. N detailed windows, fanned out across the parallel job engine: each
+//     restores a checkpoint into a detailed-core machine, simulates W
+//     cycles, and measures the energy of exactly that window.
+//
+// Window powers aggregate through Welford into a mean and a 95% confidence
+// interval; total CPU energy extrapolates as mean power x run length. A
+// restored window starts with a cold pipeline, cold predictors, and cold
+// caches (swift models none of them), so each window first simulates a
+// detailed warmup stretch before measurement begins — SMARTS's detailed
+// warming, which removes most of the cold-start bias; what remains shows up
+// honestly in the spread of window powers, i.e. in the CI.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"softwatt/internal/disk"
+	"softwatt/internal/machine"
+	"softwatt/internal/power"
+	"softwatt/internal/runner"
+	"softwatt/internal/stats"
+	"softwatt/internal/trace"
+	"softwatt/internal/workload"
+)
+
+// SampleOptions configure one sampled simulation.
+type SampleOptions struct {
+	// Windows is the number of detailed measurement windows (default 10).
+	Windows int
+	// WindowCycles is the detailed-simulation length of each window
+	// (default 200000 cycles — ten statistics windows).
+	WindowCycles uint64
+	// WarmupCycles is simulated in detail before each window's measurement
+	// begins, repopulating the caches and predictors the fast-forward
+	// checkpoint cannot carry (swift models neither). Defaults to
+	// WindowCycles/2; set negative to disable (measure cold).
+	WarmupCycles int64
+	// Workers bounds how many detailed windows simulate concurrently;
+	// zero or negative uses GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is called serially as each detailed window
+	// finishes, with the window's label (e.g. "compress[3]").
+	Progress func(done, total int, label string, err error)
+}
+
+// WindowMeasure is one detailed measurement window of a sampled run.
+type WindowMeasure struct {
+	Index      int
+	StartCycle uint64 // fast-forward-timeline cycle of the checkpoint
+	Cycles     uint64 // detailed cycles simulated (W, less if the run halted)
+	EnergyJ    float64
+	PowerW     float64
+}
+
+// SampledResult is the outcome of a sampled simulation: an estimate of the
+// workload's CPU power with a confidence interval, plus the exact
+// functional and disk figures from the fast-forward pass.
+type SampledResult struct {
+	Benchmark string
+	Core      string // detailed core the windows ran on
+	ClockHz   float64
+
+	TotalCycles uint64 // full run length on the fast-forward timeline
+	Committed   uint64 // instructions committed over the full run
+	Windows     []WindowMeasure
+
+	SampledCycles uint64  // detailed cycles actually simulated
+	MeanPowerW    float64 // mean CPU power across windows
+	PowerCI95W    float64 // 95% confidence half-width of the mean
+	EnergyJ       float64 // mean power x run length
+	EnergyCI95J   float64
+
+	// The disk timeline and idle-loop occupancy are functional, so the
+	// fast-forward pass measures them exactly — no sampling error. They are
+	// what a Fig. 9 row needs, which is how swsweep -sample reproduces the
+	// disk sweep without a single full detailed run.
+	DiskEnergyJ float64
+	DiskStats   disk.Stats
+	IdleCycles  uint64
+}
+
+// subBucket returns a-b component-wise.
+func subBucket(a, b *trace.Bucket) trace.Bucket {
+	var out trace.Bucket
+	for i := range out.Units {
+		out.Units[i] = a.Units[i] - b.Units[i]
+	}
+	out.Cycles = a.Cycles - b.Cycles
+	out.Insts = a.Insts - b.Insts
+	return out
+}
+
+// cpuEnergyDelta is the modelled CPU energy between two mode-total
+// snapshots of one machine.
+func cpuEnergyDelta(model *power.Model, before, after *[trace.NumModes]trace.Bucket) float64 {
+	var e float64
+	for m := range after {
+		d := subBucket(&after[m], &before[m])
+		e += model.BucketEnergy(&d).Total
+	}
+	return e
+}
+
+// RunSampled estimates one benchmark's power by sampled simulation. The
+// options select the detailed core ("mipsy", "mxs", "mxs1") and machine
+// configuration; the fast-forward passes use the swift core over the same
+// configuration.
+func RunSampled(benchmark string, opt Options, so SampleOptions) (*SampledResult, error) {
+	w, err := workload.Build(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	return runSampledWorkload(benchmark, w, opt, so)
+}
+
+// runSampledWorkload is RunSampled over an explicit (possibly scaled)
+// workload; the internal entry point the benchmarks drive.
+func runSampledWorkload(benchmark string, w machine.Workload, opt Options, so SampleOptions) (*SampledResult, error) {
+	if opt.Core == "swift" {
+		return nil, fmt.Errorf("softwatt: sampled simulation needs a detailed core for its windows (got %q)", opt.Core)
+	}
+	cfg, err := opt.MachineConfig()
+	if err != nil {
+		return nil, err
+	}
+	ffOpt := opt
+	ffOpt.Core = "swift"
+	ffCfg, err := ffOpt.MachineConfig()
+	if err != nil {
+		return nil, err
+	}
+	if so.Windows <= 0 {
+		so.Windows = 10
+	}
+	if so.WindowCycles == 0 {
+		so.WindowCycles = 200_000
+	}
+	if so.WarmupCycles == 0 {
+		so.WarmupCycles = int64(so.WindowCycles / 2)
+	}
+	warmup := uint64(0)
+	if so.WarmupCycles > 0 {
+		warmup = uint64(so.WarmupCycles)
+	}
+
+	// Phase 1: one fast-forward pass to the end, keeping the decimating
+	// checkpoint reservoir. Entries always sit at consecutive multiples of
+	// the current interval; decimation fires on an even count, so the kept
+	// (even-multiple) entries are consecutive multiples of the doubled
+	// interval and the invariant survives.
+	ff, err := machine.New(ffCfg, w)
+	if err != nil {
+		return nil, err
+	}
+	type ffCkpt struct {
+		cycle   uint64
+		payload []byte
+	}
+	var cps []ffCkpt
+	interval := uint64(1) << 16
+	for !ff.Halted() {
+		if ff.Cycle() >= ffCfg.MaxCycles {
+			console := ff.Console()
+			ff.Release()
+			return nil, fmt.Errorf("softwatt: %s fast-forward did not halt within %d cycles (console: %q)",
+				benchmark, ffCfg.MaxCycles, console)
+		}
+		ff.StepCycles(interval - ff.Cycle()%interval)
+		if ff.Halted() {
+			break
+		}
+		cps = append(cps, ffCkpt{ff.Cycle(), ff.Checkpoint()})
+		if len(cps) == 2*so.Windows {
+			kept := cps[:0]
+			for _, c := range cps {
+				if c.cycle%(interval*2) == 0 {
+					kept = append(kept, c)
+				}
+			}
+			cps = kept
+			interval *= 2
+		}
+	}
+	if ff.ExitCode() != 0 {
+		return nil, fmt.Errorf("softwatt: %s exited with code %d (console: %q)",
+			benchmark, ff.ExitCode(), ff.Console())
+	}
+	res := &SampledResult{
+		Benchmark:   benchmark,
+		Core:        cfg.Core.String(),
+		ClockHz:     cfg.ClockHz,
+		TotalCycles: ff.Cycle(),
+		Committed:   ff.Committed,
+		DiskEnergyJ: ff.Disk().EnergyJ(ff.Cycle()),
+		DiskStats:   ff.Disk().Stats(),
+		IdleCycles:  ff.Collector().ModeTotals()[trace.ModeIdle].Cycles,
+	}
+	ff.Release()
+	if len(cps) == 0 {
+		return nil, fmt.Errorf("softwatt: run too short (%d cycles) for sampling", res.TotalCycles)
+	}
+
+	// Select the N windows from the reservoir, spread evenly across it.
+	// A checkpoint within warmup+W fast-forward cycles of the halt cannot
+	// fill its window (the detailed core needs at least as many cycles as
+	// swift for the remaining instruction stream), so such tail entries are
+	// skipped when enough earlier ones exist.
+	eligible := cps
+	if res.TotalCycles > warmup+so.WindowCycles {
+		bound := res.TotalCycles - (warmup + so.WindowCycles)
+		n := len(cps)
+		for n > so.Windows && cps[n-1].cycle > bound {
+			n--
+		}
+		eligible = cps[:n]
+	}
+	if len(eligible) > so.Windows {
+		sel := make([]ffCkpt, so.Windows)
+		for i := range sel {
+			if so.Windows == 1 {
+				sel[i] = eligible[len(eligible)/2]
+				continue
+			}
+			sel[i] = eligible[(i*(len(eligible)-1))/(so.Windows-1)]
+		}
+		eligible = sel
+	}
+	payloads := make([][]byte, len(eligible))
+	for i, c := range eligible {
+		payloads[i] = c.payload
+	}
+
+	// Phase 3: detailed windows in parallel.
+	model := power.Default()
+	jobs := make([]runner.Job[WindowMeasure], len(payloads))
+	for i := range payloads {
+		i := i
+		jobs[i] = runner.Job[WindowMeasure]{
+			Label: fmt.Sprintf("%s[%d]", benchmark, i),
+			Run: func() (WindowMeasure, error) {
+				m, err := machine.New(cfg, w)
+				if err != nil {
+					return WindowMeasure{}, err
+				}
+				defer m.Release()
+				if err := m.RestoreState(payloads[i]); err != nil {
+					return WindowMeasure{}, err
+				}
+				m.StepCycles(warmup)
+				start := m.Cycle()
+				before := m.Collector().ModeTotals()
+				m.StepCycles(so.WindowCycles)
+				after := m.Collector().ModeTotals()
+				wm := WindowMeasure{
+					Index:      i,
+					StartCycle: start,
+					Cycles:     m.Cycle() - start,
+					EnergyJ:    cpuEnergyDelta(model, &before, &after),
+				}
+				if wm.Cycles > 0 {
+					wm.PowerW = wm.EnergyJ / (float64(wm.Cycles) / cfg.ClockHz)
+				}
+				return wm, nil
+			},
+		}
+	}
+	windows, err := runner.Map(jobs, runner.Options{Workers: so.Workers, Progress: so.Progress})
+	if err != nil {
+		return nil, err
+	}
+
+	var pw stats.Welford
+	for _, wm := range windows {
+		res.Windows = append(res.Windows, wm)
+		res.SampledCycles += wm.Cycles
+		if wm.Cycles > 0 {
+			pw.Add(wm.PowerW)
+		}
+	}
+	res.MeanPowerW = pw.Mean()
+	res.PowerCI95W = pw.CI95()
+	sec := float64(res.TotalCycles) / cfg.ClockHz
+	res.EnergyJ = res.MeanPowerW * sec
+	res.EnergyCI95J = res.PowerCI95W * sec
+	return res, nil
+}
+
+// RenderSampled renders a sampled result as a report block.
+func RenderSampled(r *SampledResult) string {
+	var b strings.Builder
+	sec := float64(r.TotalCycles) / r.ClockHz
+	fmt.Fprintf(&b, "Sampled estimate: %s on %s\n", r.Benchmark, r.Core)
+	fmt.Fprintf(&b, "  run length        %12d cycles (%.3f s at %.0f MHz)\n",
+		r.TotalCycles, sec, r.ClockHz/1e6)
+	fmt.Fprintf(&b, "  committed         %12d instructions\n", r.Committed)
+	fmt.Fprintf(&b, "  windows           %12d x %d cycles (%.2f%% of run simulated in detail)\n",
+		len(r.Windows), windowLen(r), 100*float64(r.SampledCycles)/float64(r.TotalCycles))
+	fmt.Fprintf(&b, "  CPU power         %12.3f W  +/- %s W (95%% CI)\n", r.MeanPowerW, FmtCI(r.PowerCI95W))
+	fmt.Fprintf(&b, "  CPU energy        %12.3f J  +/- %s J\n", r.EnergyJ, FmtCI(r.EnergyCI95J))
+	fmt.Fprintf(&b, "  disk energy       %12.3f J (exact)\n", r.DiskEnergyJ)
+	for _, wm := range r.Windows {
+		fmt.Fprintf(&b, "    window %2d @ cycle %12d: %8.3f W over %d cycles\n",
+			wm.Index, wm.StartCycle, wm.PowerW, wm.Cycles)
+	}
+	return b.String()
+}
+
+// FmtCI formats a 95% confidence half-width for display. The half-width
+// is NaN when fewer than two windows measured anything (stats.Welford's
+// convention: undefined is never printed as a number), so that case
+// renders as n/a.
+func FmtCI(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func windowLen(r *SampledResult) uint64 {
+	if len(r.Windows) == 0 {
+		return 0
+	}
+	return r.Windows[0].Cycles
+}

@@ -1,0 +1,137 @@
+package softwatt
+
+// Sampled-simulation smoke test: the estimator's confidence interval must
+// be honest. On a scaled compress run (long enough that its compute/IO
+// phase pattern repeats many times — the regime sampling is for), the
+// sampled mean power plus/minus its 95% CI must cover the power of the
+// exact full-detail run, while simulating only a small detailed fraction.
+
+import (
+	"testing"
+
+	"softwatt/internal/core"
+	"softwatt/internal/machine"
+	"softwatt/internal/power"
+	"softwatt/internal/trace"
+	"softwatt/internal/workload"
+)
+
+// scaledCompress is the compress benchmark with its phase pattern repeated
+// `rounds` times instead of 3 (the per-round gap overrides drop out: every
+// round runs the calibrated default gap).
+func scaledCompress(tb testing.TB, rounds int) machine.Workload {
+	tb.Helper()
+	p := *workload.Benchmarks()["compress"]
+	p.Rounds = rounds
+	p.ExtraGapIters = nil
+	w, err := workload.BuildParams(&p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return w
+}
+
+// exactMeanPowerW computes the full-detail run's mean CPU power.
+func exactMeanPowerW(t *testing.T, r *RunResult) float64 {
+	t.Helper()
+	model := power.Default()
+	var e float64
+	for m := trace.Mode(0); m < trace.NumModes; m++ {
+		e += model.BucketEnergy(&r.ModeTotals[m]).Total
+	}
+	return e / (float64(r.TotalCycles) / r.ClockHz)
+}
+
+func TestSampledRunCoversExactMean(t *testing.T) {
+	const rounds = 30
+	w := scaledCompress(t, rounds)
+
+	cfg, err := Options{Core: "mipsy"}.MachineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Collector().SetEnergyFn(power.Default().InvocationEnergy)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	exact := core.Collect(m, "compress", cfg.Core.String())
+	m.Release()
+	want := exactMeanPowerW(t, exact)
+
+	sampled, err := runSampledWorkload("compress", w, Options{Core: "mipsy"}, SampleOptions{Windows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sampled.Windows) != 8 {
+		t.Fatalf("got %d windows, want 8", len(sampled.Windows))
+	}
+	if sampled.SampledCycles >= sampled.TotalCycles/2 {
+		t.Fatalf("sampled %d of %d cycles: windows are not a small slice of the run",
+			sampled.SampledCycles, sampled.TotalCycles)
+	}
+	lo, hi := sampled.MeanPowerW-sampled.PowerCI95W, sampled.MeanPowerW+sampled.PowerCI95W
+	if want < lo || want > hi {
+		t.Fatalf("95%% CI [%.3f, %.3f] W does not cover the exact mean %.3f W (sampled mean %.3f W)",
+			lo, hi, want, sampled.MeanPowerW)
+	}
+	t.Logf("exact %.3f W, sampled %.3f +/- %.3f W over %d/%d cycles",
+		want, sampled.MeanPowerW, sampled.PowerCI95W, sampled.SampledCycles, sampled.TotalCycles)
+
+	// The timelines agree functionally up to interrupt scheduling: the
+	// detailed run takes more cycles, so it sees more timer ticks and
+	// therefore commits slightly more handler instructions. The counts must
+	// still be within a couple of percent of each other.
+	ratio := float64(sampled.Committed) / float64(exact.Committed)
+	if ratio < 0.98 || ratio > 1.02 {
+		t.Errorf("fast-forward committed %d instructions, detailed run %d (ratio %.4f)",
+			sampled.Committed, exact.Committed, ratio)
+	}
+
+	if out := RenderSampled(sampled); len(out) == 0 {
+		t.Error("empty sampled report")
+	}
+}
+
+// TestSampledStockRun: the public entry point works end-to-end on a stock
+// benchmark (2 windows, the CI smoke configuration).
+func TestSampledStockRun(t *testing.T) {
+	s, err := RunSampled("compress", Options{Core: "mipsy"}, SampleOptions{Windows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Windows) != 2 || s.MeanPowerW <= 0 || s.TotalCycles == 0 {
+		t.Fatalf("implausible sampled result: %+v", s)
+	}
+}
+
+// TestSampledWindowsFillOnShortRun: with 3 windows on stock compress the
+// reservoir's last checkpoint sits ~17k instructions before the halt, so a
+// window restored there dies during warmup and measures zero cycles. The
+// tail trim must prefer earlier checkpoints whenever enough exist: every
+// selected window must fill completely. Regression test for the
+// all-or-nothing trim that kept the worst tail checkpoint.
+func TestSampledWindowsFillOnShortRun(t *testing.T) {
+	s, err := RunSampled("compress", Options{Core: "mipsy"}, SampleOptions{Windows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Windows) != 3 {
+		t.Fatalf("got %d windows, want 3", len(s.Windows))
+	}
+	for _, wm := range s.Windows {
+		if wm.Cycles != 200_000 {
+			t.Errorf("window %d @ cycle %d measured %d cycles, want a full 200000",
+				wm.Index, wm.StartCycle, wm.Cycles)
+		}
+	}
+}
+
+func TestSampledRejectsSwiftWindows(t *testing.T) {
+	if _, err := RunSampled("compress", Options{Core: "swift"}, SampleOptions{}); err == nil {
+		t.Fatal("sampled run accepted swift as the detailed core")
+	}
+}

@@ -2,13 +2,18 @@
 # Runs the simulator throughput benchmark and emits BENCH_softwatt.json —
 # a machine-readable snapshot of simulation speed (Mcycles/s, Minsts/s,
 # ns/inst per core) plus host metadata, for CI artifacts and before/after
-# comparisons.
+# comparisons. A second entry runs BenchmarkSampledSpeedup: a ~10^8-cycle
+# workload simulated both ways (full-detail mipsy vs sampled, DESIGN.md
+# §13), recorded as the "sampled" object with its wall-clock speedup.
 #
 # After writing the fresh snapshot the script compares it against the
 # committed baseline (git HEAD's BENCH_softwatt.json, also copied to
 # BENCH_baseline.json for artifact upload) and exits nonzero if either
 # core's mcycles_per_s dropped more than BENCH_TOLERANCE (default 0.15)
-# relative to the baseline. BENCHTIME controls -benchtime (default 5x).
+# relative to the baseline, or if the sampled speedup fell below
+# SAMPLED_MIN_SPEEDUP (default 5 — the §13 claim; both sides of the ratio
+# run on this host, so it does not need a host-specific tolerance).
+# BENCHTIME controls -benchtime (default 5x).
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
@@ -16,14 +21,29 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_softwatt.json}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+sraw="$(mktemp)"
+trap 'rm -f "$raw" "$sraw"' EXIT
 
 rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
 go test -run '^$' -bench 'BenchmarkSimulatorThroughput' -benchtime "${BENCHTIME:-5x}" . | tee "$raw"
+go test -run '^$' -bench 'BenchmarkSampledSpeedup' -benchtime 1x . | tee "$sraw"
 
-awk -v out="$out" -v rev="$rev" -v date="$date" '
+# Pull the sampled-mode metrics out of the benchmark line.
+smetric() {
+	awk -v unit="$1" '/^BenchmarkSampledSpeedup/ {
+		for (i = 2; i < NF; i++) if ($(i+1) == unit) print $i
+	}' "$sraw"
+}
+sampled_s="$(smetric sampled-s)"
+detailed_s="$(smetric detailed-s)"
+speedup="$(smetric speedup-x)"
+ci95="$(smetric ci95-W)"
+
+awk -v out="$out" -v rev="$rev" -v date="$date" \
+	-v sampled_s="$sampled_s" -v detailed_s="$detailed_s" \
+	-v speedup="$speedup" -v ci95="$ci95" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^goos:/ { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -49,10 +69,25 @@ END {
             sep, core, nsop[core], mcyc[core], minst[core], nsinst[core] > out
         sep = ","
     }
-    printf "\n  }\n}\n" > out
+    printf "\n  },\n" > out
+    printf "  \"sampled\": {\"sampled_s\": %s, \"detailed_s\": %s, \"speedup_x\": %s, \"ci95_w\": %s}\n", \
+        sampled_s, detailed_s, speedup, ci95 > out
+    printf "}\n" > out
 }' "$raw"
 
 echo "wrote $out"
+
+# Sampled-mode gate: the §13 claim is >=5x over full-detail mipsy on the
+# same ~10^8-cycle workload. The ratio compares two runs on this host, so
+# a fixed floor works everywhere.
+min_speedup="${SAMPLED_MIN_SPEEDUP:-5}"
+awk -v s="$speedup" -v min="$min_speedup" 'BEGIN {
+	printf "bench: sampled speedup %.2fx over full-detail mipsy (floor %.1fx)\n", s, min
+	if (s + 0 < min + 0) {
+		printf "bench: REGRESSION: sampled mode is below the %.1fx floor\n", min
+		exit 1
+	}
+}'
 
 # Regression gate: compare each core's Mcycles/s against the committed
 # baseline. The committed file is fetched from git so the gate works even

@@ -19,6 +19,8 @@ package softwatt
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"softwatt/internal/core"
@@ -118,6 +120,16 @@ type Options struct {
 	// halts the processor (WAIT) instead of busy-waiting, eliminating the
 	// idle process's pipeline activity.
 	IdleHalt bool
+	// CheckpointDir, when set, makes the run resumable: a machine
+	// checkpoint is written there every CheckpointEvery cycles (atomically,
+	// keyed by the run's configuration digest), an existing matching
+	// checkpoint is restored instead of starting from boot, and the file is
+	// removed when the run completes. Checkpointing changes no results —
+	// the continuation is bit-identical to an uninterrupted run — and does
+	// not participate in the configuration digest.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint interval in cycles (default 5e8).
+	CheckpointEvery uint64
 }
 
 // MachineConfig resolves the options into a machine configuration.
@@ -201,9 +213,26 @@ func run(benchmark string, opt Options, tid int64) (*RunResult, error) {
 	// quantity measured online, so wire the power model in.
 	model := power.Default()
 	m.Collector().SetEnergyFn(model.InvocationEnergy)
+	ckptPath := ""
+	if opt.CheckpointDir != "" {
+		if err := os.MkdirAll(opt.CheckpointDir, 0o755); err != nil {
+			return nil, err
+		}
+		ckptPath = filepath.Join(opt.CheckpointDir, CheckpointFileName(benchmark, cfg))
+		// A failed restore rebuilds the machine, so the energy wiring must
+		// be redone on whatever machine comes back.
+		if m, err = resumeMachine(m, cfg, w, ckptPath); err != nil {
+			return nil, err
+		}
+		m.Collector().SetEnergyFn(model.InvocationEnergy)
+	}
 	sp = obs.StartSpan(tid, "simulate "+benchmark, "simulate")
 	sp.Arg("core", cfg.Core.String())
-	err = m.Run(0)
+	if ckptPath != "" {
+		err = runCheckpointed(m, ckptPath, opt.CheckpointEvery, cfg)
+	} else {
+		err = m.Run(0)
+	}
 	sp.Arg("cycles", fmt.Sprint(m.Cycle()))
 	sp.End()
 	if err != nil {
