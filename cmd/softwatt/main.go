@@ -16,17 +16,24 @@
 // detailed run: a swift fast-forward pass measures the run length and the
 // exact disk figures, then N detailed windows (each -window cycles,
 // restored from fast-forward checkpoints) run in parallel and aggregate
-// into a mean CPU power with a 95% confidence interval. -ckpt makes full
-// detailed runs resumable: periodic checkpoints are saved to the
-// directory and an interrupted run continues from its last one.
+// into a mean CPU power with a 95% confidence interval. -ci T makes the
+// window count adaptive: windows run in waves until the CI half-width is
+// at most T watts (capped by -maxwindows). -ffcache dir persists each
+// fast-forward pass's checkpoint reservoir, so repeated sampled runs over
+// the same workload and configuration skip the fast-forward entirely.
+// With -sample, -o saves the sampled result (.swsmp) instead of a run
+// log; -replay re-renders either kind of file. -ckpt makes full detailed
+// runs resumable: periodic checkpoints are saved to the directory and an
+// interrupted run continues from its last one.
 //
 // Usage:
 //
 //	softwatt [-core mipsy|mxs|mxs1] [-disk conventional|idle|standby2|standby4]
 //	         [-j N] [-profile] [-services] [-log file] [-o file]
-//	         [-sample N] [-window W] [-ckpt dir]
+//	         [-sample N] [-window W] [-ci T] [-maxwindows N]
+//	         [-ffcache dir] [-ckpt dir]
 //	         [-http addr] [-trace file.json] <benchmark ...>
-//	softwatt -replay [-profile] [-services] <run.swlog ...>
+//	softwatt -replay [-profile] [-services] <run.swlog|run.swsmp ...>
 //
 // -http serves live Prometheus-text metrics and pprof while the run is in
 // flight; -trace writes a Chrome trace-event JSON of the run pipeline
@@ -59,6 +66,9 @@ func main() {
 	replay := flag.Bool("replay", false, "arguments are saved run logs: report from them without simulating")
 	sample := flag.Int("sample", 0, "estimate power from N sampled detailed windows instead of a full run (0 = full detail)")
 	window := flag.Uint64("window", 0, "detailed cycles per sample window (0 = default 200000)")
+	ciTarget := flag.Float64("ci", 0, "adaptive sampling: add window waves until the 95% CI half-width is at most this many watts (0 = fixed window count)")
+	maxWindows := flag.Int("maxwindows", 0, "window cap for adaptive sampling (0 = default 32)")
+	ffCache := flag.String("ffcache", "", "fast-forward reservoir cache directory: sampled runs restore saved fast-forward passes and save new ones")
 	ckptDir := flag.String("ckpt", "", "checkpoint directory: detailed runs save periodic checkpoints and resume from the last one")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: softwatt [flags] <benchmark ...>\n"+
@@ -84,6 +94,16 @@ func main() {
 	est := softwatt.NewEstimator()
 	if *replay {
 		for i, path := range flag.Args() {
+			// A saved sampled result re-renders through the sampled report.
+			// Probe for it first: the v2 run-log reader would skip the SRES
+			// section (unknown-section rule) rather than reject the file.
+			if sres, serr := softwatt.LoadSampledResultFile(path); serr == nil {
+				if i > 0 {
+					fmt.Println()
+				}
+				fmt.Print(softwatt.RenderSampled(sres))
+				continue
+			}
 			res, err := softwatt.LoadResultFile(path)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -107,11 +127,12 @@ func main() {
 	}
 	opt := softwatt.Options{Core: *coreKind, DiskPolicy: *diskPol, CheckpointDir: *ckptDir}
 
-	if *sample > 0 {
+	if *sample > 0 || *ciTarget > 0 {
 		// Sampled estimation replaces the detailed report; the sample
-		// windows do not produce the service/profile data a run log holds.
-		if *logFile != "" || *outFile != "" {
-			fmt.Fprintln(os.Stderr, "softwatt: -sample cannot write run logs (-log/-o need a full detailed run)")
+		// windows do not produce the service/profile data a run log holds,
+		// so -o saves the sampled result itself (-replay re-renders it).
+		if *logFile != "" {
+			fmt.Fprintln(os.Stderr, "softwatt: -sample cannot write v1 sample logs (-log needs a full detailed run)")
 			os.Exit(2)
 		}
 		so := softwatt.SampleOptions{
@@ -119,6 +140,9 @@ func main() {
 			WindowCycles: *window,
 			Workers:      *jobs,
 			Progress:     obs.NewProgress(os.Stderr).Cell,
+			TargetCIW:    *ciTarget,
+			MaxWindows:   *maxWindows,
+			FFCacheDir:   *ffCache,
 		}
 		for i, bench := range benches {
 			res, err := softwatt.RunSampled(bench, opt, so)
@@ -130,6 +154,15 @@ func main() {
 				fmt.Println()
 			}
 			fmt.Print(softwatt.RenderSampled(res))
+			// The -o notice goes to stderr so that stdout stays
+			// byte-identical between a live run and its -replay.
+			if *outFile != "" {
+				if err := softwatt.SaveSampledResultFile(*outFile, res); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					prof.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "wrote sampled result %s\n", *outFile)
+			}
 		}
 		return
 	}

@@ -53,6 +53,8 @@ func main() {
 	ckptDir := flag.String("ckpt", "", "checkpoint directory: simulated cells save periodic checkpoints and resume from the last one")
 	sample := flag.Int("sample", 0, "detailed windows for the s1 sampled cross-check (0 = default 4)")
 	window := flag.Uint64("window", 0, "detailed cycles per s1 sample window (0 = default 100000)")
+	ciTarget := flag.Float64("ci", 0, "adaptive s1 sampling: add window waves until the 95% CI half-width is at most this many watts")
+	ffCache := flag.String("ffcache", "", "fast-forward reservoir cache directory for the s1 sampled run")
 	flag.Parse()
 	if err := pr.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -71,7 +73,8 @@ func main() {
 		ids = []string{"v1", "t1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "t2", "t3", "t4", "t5", "x1", "x2", "f9", "a1", "a2", "s1"}
 	}
 	st := &state{est: softwatt.NewEstimator(), workers: *jobs, logsDir: *logsDir,
-		core: *coreKind, ckptDir: *ckptDir, sampleN: *sample, windowW: *window}
+		core: *coreKind, ckptDir: *ckptDir, sampleN: *sample, windowW: *window,
+		ciTarget: *ciTarget, ffCache: *ffCache}
 	for _, id := range ids {
 		if err := st.run(strings.TrimSpace(id)); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
@@ -88,6 +91,8 @@ type state struct {
 	ckptDir   string                // -ckpt: resumable cells
 	sampleN   int                   // -sample: s1 window count
 	windowW   uint64                // -window: s1 window length
+	ciTarget  float64               // -ci: s1 adaptive CI target (watts)
+	ffCache   string                // -ffcache: s1 fast-forward reservoir cache
 	mxsRuns   []*softwatt.RunResult // cached all-benchmark MXS results
 	mipsyRuns []*softwatt.RunResult // cached all-benchmark Mipsy results
 }
@@ -368,14 +373,15 @@ func (s *state) run(id string) error {
 		hdr("S1 (extension): sampled simulation vs full detail (DESIGN.md §13)")
 		// The stock benchmarks are short (sampling exists for runs far past
 		// them), so the cross-check defaults to a light 4 x 100k window set.
-		so := softwatt.SampleOptions{Windows: s.sampleN, WindowCycles: s.windowW, Workers: s.workers}
+		so := softwatt.SampleOptions{Windows: s.sampleN, WindowCycles: s.windowW, Workers: s.workers,
+			TargetCIW: s.ciTarget, FFCacheDir: s.ffCache}
 		if so.Windows == 0 {
 			so.Windows = 4
 		}
 		if so.WindowCycles == 0 {
 			so.WindowCycles = 100_000
 		}
-		sr, err := softwatt.RunSampled("compress", softwatt.Options{Core: "mipsy"}, so)
+		sr, err := softwatt.RunSampledCached("compress", softwatt.Options{Core: "mipsy"}, so, s.logsDir)
 		if err != nil {
 			return err
 		}
@@ -386,7 +392,7 @@ func (s *state) run(id string) error {
 		sum := s.est.Summarize(r)
 		exact := sum.CPUMemJ / sum.TimeSec
 		fmt.Printf("compress on mipsy, %d windows x %d cycles (%.2f%% of the run in detail):\n",
-			len(sr.Windows), sr.Windows[0].Cycles, 100*float64(sr.SampledCycles)/float64(sr.TotalCycles))
+			len(sr.Windows), sr.WindowCycles, 100*float64(sr.SampledCycles)/float64(sr.TotalCycles))
 		fmt.Printf("  sampled  %.3f W +/- %s W (95%% CI)\n", sr.MeanPowerW, softwatt.FmtCI(sr.PowerCI95W))
 		fmt.Printf("  exact    %.3f W (full detailed run)\n", exact)
 		fmt.Printf("  error    %+.2f%%\n", 100*(sr.MeanPowerW-exact)/exact)

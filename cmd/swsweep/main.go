@@ -24,11 +24,17 @@
 // cell's full detailed run with a sampled estimate: the disk columns come
 // exactly from a swift fast-forward pass (the disk timeline is
 // functional), and CPU power is measured over N detailed windows of
-// -window cycles with a 95% confidence interval.
+// -window cycles with a 95% confidence interval. -ci T makes the window
+// count adaptive (waves until the CI half-width reaches T watts). Under
+// -sample, -logs caches each cell's sampled result (a warm sweep renders
+// with zero simulation) and -ffcache persists each cell's fast-forward
+// reservoir, so re-sweeping the grid with different sampling parameters
+// skips the ~10⁸-cycle fast-forward per cell.
 //
 // Usage:
 //
 //	swsweep [-j N] [-q] [-logs dir] [-ckpt dir] [-sample N] [-window W]
+//	        [-ci T] [-ffcache dir]
 //	        [-http addr] [-trace file.json] [benchmark ...]
 package main
 
@@ -52,6 +58,8 @@ func main() {
 	ckptDir := flag.String("ckpt", "", "checkpoint directory: cells save periodic checkpoints and resume from the last one")
 	sample := flag.Int("sample", 0, "estimate each cell from N sampled detailed windows instead of a full run (0 = full detail)")
 	window := flag.Uint64("window", 0, "detailed cycles per sample window (0 = default 200000)")
+	ciTarget := flag.Float64("ci", 0, "adaptive sampling: add window waves per cell until the 95% CI half-width is at most this many watts")
+	ffCache := flag.String("ffcache", "", "fast-forward reservoir cache directory for sampled cells")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: swsweep [-j N] [-q] [-logs dir] [benchmark ...]\nbenchmarks: %v\n", softwatt.Benchmarks)
 		flag.PrintDefaults()
@@ -74,8 +82,15 @@ func main() {
 		benches = softwatt.Benchmarks
 	}
 
-	if *sample > 0 {
-		if err := sampledSweep(benches, *coreKind, *sample, *window, *jobs, *quiet); err != nil {
+	if *sample > 0 || *ciTarget > 0 {
+		so := softwatt.SampleOptions{
+			Windows:      *sample,
+			WindowCycles: *window,
+			Workers:      *jobs,
+			TargetCIW:    *ciTarget,
+			FFCacheDir:   *ffCache,
+		}
+		if err := sampledSweep(benches, *coreKind, so, *logsDir, *quiet); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			prof.Exit(1)
 		}
@@ -125,9 +140,10 @@ func main() {
 // its swift fast-forward pass; CPU power is a sampled estimate, reported
 // with its confidence interval in a second table. Cells run one after
 // another — the parallelism is inside each cell, across its detailed
-// windows.
-func sampledSweep(benches []string, coreKind string, windows int, windowCycles uint64, jobs int, quiet bool) error {
-	so := softwatt.SampleOptions{Windows: windows, WindowCycles: windowCycles, Workers: jobs}
+// windows. With a log directory, each cell's sampled result is cached
+// (saved as it completes, loaded on a warm sweep instead of simulating);
+// with so.FFCacheDir, the per-cell fast-forward reservoirs persist too.
+func sampledSweep(benches []string, coreKind string, so softwatt.SampleOptions, logsDir string, quiet bool) error {
 	if !quiet {
 		so.Progress = obs.NewProgress(os.Stderr).Cell
 	}
@@ -138,7 +154,7 @@ func sampledSweep(benches []string, coreKind string, windows int, windowCycles u
 			if !quiet {
 				fmt.Fprintf(os.Stderr, "sampling %s/%s...\n", bench, pol)
 			}
-			r, err := softwatt.RunSampled(bench, softwatt.Options{Core: coreKind, DiskPolicy: pol}, so)
+			r, err := softwatt.RunSampledCached(bench, softwatt.Options{Core: coreKind, DiskPolicy: pol}, so, logsDir)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", bench, pol, err)
 			}
@@ -155,10 +171,10 @@ func sampledSweep(benches []string, coreKind string, windows int, windowCycles u
 		}
 	}
 	fmt.Print(softwatt.RenderFig9(rows))
-	fmt.Printf("\nSampled CPU power (%d windows per cell):\n", len(sampled[0].Windows))
+	fmt.Println("\nSampled CPU power:")
 	for i, r := range sampled {
-		fmt.Printf("  %-10s %-12s %8.3f W +/- %s W (95%% CI)\n",
-			r.Benchmark, rows[i].Policy, r.MeanPowerW, softwatt.FmtCI(r.PowerCI95W))
+		fmt.Printf("  %-10s %-12s %8.3f W +/- %s W (95%% CI, %d windows)\n",
+			r.Benchmark, rows[i].Policy, r.MeanPowerW, softwatt.FmtCI(r.PowerCI95W), len(r.Windows))
 	}
 	return nil
 }

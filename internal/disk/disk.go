@@ -258,6 +258,13 @@ func (b *imgBuf) scrub() {
 	}
 }
 
+// ScrubImage re-zeroes every written page of the disk image and clears
+// the written bitmap, restoring the all-zero state a fresh allocation
+// guarantees. Machine reuse (Recycle + RestoreState) depends on it: a
+// checkpoint only carries the pages written up to the checkpoint, so pages
+// a previous occupant wrote must be zeroed before the restore.
+func (d *Disk) ScrubImage() { d.img.scrub() }
+
 // markWritten records a write of n bytes at off (already bounds-checked
 // against the image length; n clamped by the caller's copy).
 func (b *imgBuf) markWritten(off uint64, n int) {

@@ -106,9 +106,9 @@ func (m *Machine) Checkpoint() []byte {
 }
 
 // RestoreState restores a checkpoint into this machine, which must be
-// freshly built (New, no cycles run) for the same workload and
-// configuration. The core kind may differ from the checkpoint's: the core
-// then starts cold, as sampled simulation requires.
+// freshly built (New, no cycles run) or Recycled, for the same workload
+// and configuration. The core kind may differ from the checkpoint's: the
+// core then starts cold, as sampled simulation requires.
 func (m *Machine) RestoreState(data []byte) error {
 	if m.customCore {
 		return fmt.Errorf("machine: cannot restore into a custom-core machine")

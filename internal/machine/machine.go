@@ -404,6 +404,21 @@ func (m *Machine) Release() {
 	m.dsk.Release()
 }
 
+// Recycle prepares an already-used machine to accept another RestoreState,
+// without paying for construction again. RestoreState fully overwrites
+// every piece of machine state except the RAM and disk-image backing
+// stores, where it copies in only the checkpoint's dirty/written pages —
+// so the one way a reused machine could differ from a fresh one is a page
+// this machine touched that the incoming checkpoint does not carry.
+// Scrubbing both stores back to all-zero closes that gap: after Recycle,
+// RestoreState reconstructs the same state it would on a machine fresh
+// from New. The per-worker machine pools of sampled simulation call this
+// between windows, paying one construction for N windows.
+func (m *Machine) Recycle() {
+	m.ram.Scrub()
+	m.dsk.ScrubImage()
+}
+
 // Run simulates until the workload halts the machine or maxCycles elapse
 // (0 = use the config's MaxCycles).
 func (m *Machine) Run(maxCycles uint64) error {

@@ -67,6 +67,13 @@ func (r *RAM) Release() {
 	}
 }
 
+// Scrub re-zeroes every dirty page and clears the dirty map, restoring the
+// all-zero state a fresh allocation guarantees. Machine reuse (Recycle +
+// RestoreState) depends on it: a checkpoint only carries pages the
+// checkpointed run touched, so pages a previous occupant dirtied must be
+// zeroed before the restore.
+func (r *RAM) Scrub() { r.scrub() }
+
 // scrub re-zeroes every dirty page and clears the dirty map, restoring the
 // all-zero state a fresh allocation guarantees.
 func (r *RAM) scrub() {

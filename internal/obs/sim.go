@@ -57,6 +57,18 @@ type BatchMetrics struct {
 	// CheckpointCorrupt counts resumable-run checkpoints that existed but
 	// failed to read or restore (the run restarts from boot).
 	CheckpointCorrupt *Counter
+	// FFCacheHits/Misses/Corrupt count fast-forward reservoir cache
+	// outcomes (sampled runs with an -ffcache directory). A hit skips the
+	// swift fast-forward pass entirely; corrupt files are rebuilt.
+	FFCacheHits    *Counter
+	FFCacheMisses  *Counter
+	FFCacheCorrupt *Counter
+	// SampledCacheHits/Misses/Corrupt count saved-SampledResult cache
+	// outcomes (RunSampledCached): a hit re-renders a sampled estimate with
+	// zero simulation, mirroring the run-log cache contract.
+	SampledCacheHits    *Counter
+	SampledCacheMisses  *Counter
+	SampledCacheCorrupt *Counter
 }
 
 var (
@@ -90,6 +102,18 @@ func Batch() *BatchMetrics {
 				"Run-log cache files present but unreadable (corrupt/truncated).", ""),
 			CheckpointCorrupt: def.Counter("softwatt_checkpoint_corrupt_total",
 				"Resumable-run checkpoints present but unusable (run restarted from boot).", ""),
+			FFCacheHits: def.Counter("softwatt_ffcache_hits_total",
+				"Fast-forward reservoir cache lookups answered from a saved reservoir.", ""),
+			FFCacheMisses: def.Counter("softwatt_ffcache_misses_total",
+				"Fast-forward reservoir cache lookups that had to fast-forward.", ""),
+			FFCacheCorrupt: def.Counter("softwatt_ffcache_corrupt_total",
+				"Fast-forward reservoir cache files present but unreadable (rebuilt).", ""),
+			SampledCacheHits: def.Counter("softwatt_sampledcache_hits_total",
+				"Sampled-result cache lookups answered from a saved result.", ""),
+			SampledCacheMisses: def.Counter("softwatt_sampledcache_misses_total",
+				"Sampled-result cache lookups that had to sample.", ""),
+			SampledCacheCorrupt: def.Counter("softwatt_sampledcache_corrupt_total",
+				"Sampled-result cache files present but unreadable (re-sampled).", ""),
 		}
 	})
 	return batch

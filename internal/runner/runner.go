@@ -113,13 +113,55 @@ func (p *panicError) Error() string {
 	return fmt.Sprintf("panic: %v\n%s", p.value, p.stack)
 }
 
-// Map runs every job on a bounded worker pool and returns the results in
-// input order. It always returns a full-length slice: the i-th element is
-// jobs[i]'s result, or the zero value where that job failed. When any job
-// fails the error is an *Errors aggregating every failed cell (keep-going:
-// later jobs still run). A panic inside a job is recovered into that cell's
-// error.
-func Map[T any](jobs []Job[T], opt Options) ([]T, error) {
+// Pool is a persistent set of worker goroutines. A one-shot Map spins its
+// workers up and down around a single job slice; a Pool keeps them (and
+// their stable ids) alive across multiple MapOn calls, so a caller that
+// schedules work in waves — adaptive sampling adds detailed windows until
+// the confidence target is met — can keep per-worker state (a reusable
+// machine, a trace track) warm from one wave to the next. Worker ids are
+// in [0, Workers()) and each id belongs to exactly one goroutine for the
+// pool's whole life.
+type Pool struct {
+	workers int
+	tasks   chan func(worker int)
+	wg      sync.WaitGroup
+}
+
+// NewPool starts a pool of the given size. Zero or negative selects
+// runtime.GOMAXPROCS(0). Close must be called to release the workers.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, tasks: make(chan func(worker int))}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func(worker int) {
+			defer p.wg.Done()
+			for t := range p.tasks {
+				t(worker)
+			}
+		}(w)
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the workers after the tasks already submitted finish. No
+// MapOn may be in flight or started afterwards.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// MapOn runs every job on an existing pool with Map's exact contract:
+// results in input order, keep-going error aggregation into *Errors,
+// panics recovered per cell, serial progress. Options.Workers is ignored —
+// the pool fixes the parallelism; OnStart sees the pool's stable worker
+// ids.
+func MapOn[T any](p *Pool, jobs []Job[T], opt Options) ([]T, error) {
 	n := len(jobs)
 	results := make([]T, n)
 	if n == 0 {
@@ -144,36 +186,30 @@ func Map[T any](jobs []Job[T], opt Options) ([]T, error) {
 	bm := obs.Batch()
 	bm.QueueDepth.Add(float64(n))
 
-	idx := make(chan int)
 	var wg sync.WaitGroup
-	for w := opt.workers(n) - 1; w >= 0; w-- {
-		wg.Add(1)
-		go func(worker int) {
+	wg.Add(n)
+	for i := range jobs {
+		i := i
+		p.tasks <- func(worker int) {
 			defer wg.Done()
-			for i := range idx {
-				if opt.OnStart != nil {
-					opt.OnStart(worker, i, jobs[i].Label)
-				}
-				bm.QueueDepth.Add(-1)
-				bm.WorkersBusy.Add(1)
-				begin := time.Now()
-				res, err := runOne(jobs[i].Run)
-				bm.CellSeconds.Observe(time.Since(begin).Seconds())
-				bm.WorkersBusy.Add(-1)
-				bm.CellsDone.Inc()
-				results[i] = res
-				if err != nil {
-					bm.CellsFailed.Inc()
-					errs[i] = &JobError{Index: i, Label: jobs[i].Label, Err: err}
-				}
-				report(i, err)
+			if opt.OnStart != nil {
+				opt.OnStart(worker, i, jobs[i].Label)
 			}
-		}(w)
+			bm.QueueDepth.Add(-1)
+			bm.WorkersBusy.Add(1)
+			begin := time.Now()
+			res, err := runOne(jobs[i].Run)
+			bm.CellSeconds.Observe(time.Since(begin).Seconds())
+			bm.WorkersBusy.Add(-1)
+			bm.CellsDone.Inc()
+			results[i] = res
+			if err != nil {
+				bm.CellsFailed.Inc()
+				errs[i] = &JobError{Index: i, Label: jobs[i].Label, Err: err}
+			}
+			report(i, err)
+		}
 	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
 
 	var failed []*JobError
@@ -189,6 +225,22 @@ func Map[T any](jobs []Job[T], opt Options) ([]T, error) {
 		return results, &Errors{Jobs: failed}
 	}
 	return results, nil
+}
+
+// Map runs every job on a bounded worker pool and returns the results in
+// input order. It always returns a full-length slice: the i-th element is
+// jobs[i]'s result, or the zero value where that job failed. When any job
+// fails the error is an *Errors aggregating every failed cell (keep-going:
+// later jobs still run). A panic inside a job is recovered into that cell's
+// error.
+func Map[T any](jobs []Job[T], opt Options) ([]T, error) {
+	n := len(jobs)
+	if n == 0 {
+		return make([]T, 0), nil
+	}
+	p := NewPool(opt.workers(n))
+	defer p.Close()
+	return MapOn(p, jobs, opt)
 }
 
 // runOne executes one job body, converting a panic into an error.

@@ -138,9 +138,12 @@ func (c *Collector) DecodeState(r *ckpt.Reader) {
 	c.nextFlush = r.U64()
 }
 
-// WriteCheckpoint wraps an encoded machine checkpoint payload in the v2
-// log container: magic, version, a single CKPT section, END.
-func WriteCheckpoint(w io.Writer, payload []byte) error {
+// WriteSectionContainer wraps a payload in the v2 log container: magic,
+// version, a single section carrying the given tag, END. Checkpoint files
+// and the fast-forward reservoir store both use this shape; existing v2
+// readers skip the unfamiliar section (unknown-section rule) rather than
+// choking, and the format stays self-describing.
+func WriteSectionContainer(w io.Writer, tag [4]byte, payload []byte) error {
 	bw := bufio.NewWriter(w)
 	le := binary.LittleEndian
 	var hdr [8]byte
@@ -149,7 +152,7 @@ func WriteCheckpoint(w io.Writer, payload []byte) error {
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := bw.Write(tagCkpt[:]); err != nil {
+	if _, err := bw.Write(tag[:]); err != nil {
 		return err
 	}
 	var size [8]byte
@@ -170,58 +173,71 @@ func WriteCheckpoint(w io.Writer, payload []byte) error {
 	return bw.Flush()
 }
 
-// ReadCheckpoint extracts the CKPT payload from a checkpoint container
-// written by WriteCheckpoint. Unknown sections are skipped (same rule as
-// run records); a container without a CKPT section is an error. Counts are
-// never trusted for allocation: the payload is read incrementally, so a
-// lying size field fails with an error rather than an enormous allocation.
-func ReadCheckpoint(r io.Reader) ([]byte, error) {
+// ReadSectionContainer extracts the payload of the section carrying the
+// given tag from a container written by WriteSectionContainer. Unknown
+// sections are skipped (same rule as run records); a container without the
+// wanted section is an error. Counts are never trusted for allocation: the
+// payload is read incrementally, so a lying size field fails with an error
+// rather than an enormous allocation.
+func ReadSectionContainer(r io.Reader, tag [4]byte) ([]byte, error) {
 	br := bufio.NewReader(r)
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: checkpoint header: %w", err)
+		return nil, fmt.Errorf("trace: %s header: %w", tag[:], err)
 	}
 	le := binary.LittleEndian
 	if m := le.Uint32(hdr[0:]); m != logMagic {
-		return nil, fmt.Errorf("trace: bad checkpoint magic %#x", m)
+		return nil, fmt.Errorf("trace: bad %s magic %#x", tag[:], m)
 	}
 	if v := le.Uint32(hdr[4:]); v != logVersion2 {
-		return nil, fmt.Errorf("trace: unsupported checkpoint version %d", v)
+		return nil, fmt.Errorf("trace: unsupported %s version %d", tag[:], v)
 	}
 	var payload []byte
 	for {
 		var sh [12]byte
 		if _, err := io.ReadFull(br, sh[:]); err != nil {
-			return nil, fmt.Errorf("trace: checkpoint section header: %w", err)
+			return nil, fmt.Errorf("trace: %s section header: %w", tag[:], err)
 		}
-		var tag [4]byte
-		copy(tag[:], sh[0:4])
+		var st [4]byte
+		copy(st[:], sh[0:4])
 		size := le.Uint64(sh[4:])
-		if tag == tagEnd {
+		if st == tagEnd {
 			if payload == nil {
-				return nil, fmt.Errorf("trace: checkpoint container has no CKPT section")
+				return nil, fmt.Errorf("trace: container has no %s section", tag[:])
 			}
 			return payload, nil
 		}
 		if size > maxSkippedBytes {
-			return nil, fmt.Errorf("trace: checkpoint section %q too large (%d bytes)", tag[:], size)
+			return nil, fmt.Errorf("trace: section %q too large (%d bytes)", st[:], size)
 		}
-		if tag == tagCkpt {
+		if st == tag {
 			if payload != nil {
-				return nil, fmt.Errorf("trace: duplicate CKPT section")
+				return nil, fmt.Errorf("trace: duplicate %s section", tag[:])
 			}
 			data, err := io.ReadAll(io.LimitReader(br, int64(size)))
 			if err != nil {
-				return nil, fmt.Errorf("trace: checkpoint payload: %w", err)
+				return nil, fmt.Errorf("trace: %s payload: %w", tag[:], err)
 			}
 			if uint64(len(data)) != size {
-				return nil, fmt.Errorf("trace: checkpoint payload truncated (%d of %d bytes)", len(data), size)
+				return nil, fmt.Errorf("trace: %s payload truncated (%d of %d bytes)", tag[:], len(data), size)
 			}
 			payload = data
 			continue
 		}
 		if _, err := io.CopyN(io.Discard, br, int64(size)); err != nil {
-			return nil, fmt.Errorf("trace: skipping checkpoint section %q: %w", tag[:], err)
+			return nil, fmt.Errorf("trace: skipping section %q: %w", st[:], err)
 		}
 	}
+}
+
+// WriteCheckpoint wraps an encoded machine checkpoint payload in the v2
+// log container: magic, version, a single CKPT section, END.
+func WriteCheckpoint(w io.Writer, payload []byte) error {
+	return WriteSectionContainer(w, tagCkpt, payload)
+}
+
+// ReadCheckpoint extracts the CKPT payload from a checkpoint container
+// written by WriteCheckpoint.
+func ReadCheckpoint(r io.Reader) ([]byte, error) {
+	return ReadSectionContainer(r, tagCkpt)
 }

@@ -1,0 +1,65 @@
+package softwatt
+
+// Machine reuse (Machine.Recycle + RestoreState) is the worker-pool
+// optimisation sampled windows rely on: restoring a checkpoint into a
+// machine that already ran other work must be indistinguishable from
+// restoring it into a machine fresh from New. RestoreState overwrites all
+// machine state except the RAM and disk-image backing stores, where only
+// the checkpoint's dirty/written pages are copied in — Recycle scrubs both
+// back to their initial images, so the reconstructed state is identical.
+// As in ckptequiv_test.go, the assertion is byte-identical result bytes.
+
+import (
+	"bytes"
+	"testing"
+
+	"softwatt/internal/core"
+)
+
+func TestRecycleRestoreEquivalence(t *testing.T) {
+	// Checkpoint a run at an arbitrary mid-run cycle.
+	src, cfg := newCkptMachine(t, "compress", "mipsy")
+	src.StepCycles(500_000)
+	if src.Halted() {
+		t.Fatal("machine halted before the checkpoint cycle")
+	}
+	payload := src.Checkpoint()
+	src.Release()
+
+	// Reference: restore into a fresh machine, run to completion.
+	fresh, _ := newCkptMachine(t, "compress", "mipsy")
+	if err := fresh.RestoreState(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Run(0); err != nil {
+		t.Fatalf("fresh-machine run: %v (console: %q)", err, fresh.Console())
+	}
+	want := resultBytes(t, core.Collect(fresh, "compress", cfg.Core.String()))
+	fresh.Release()
+
+	// Candidate: a machine that ran well past the checkpoint cycle — so its
+	// RAM and disk image hold dirty pages the checkpoint does not cover —
+	// recycled and restored from the same payload.
+	reused, _ := newCkptMachine(t, "compress", "mipsy")
+	reused.StepCycles(800_000)
+	if reused.Halted() {
+		t.Fatal("machine halted during the throwaway stretch")
+	}
+	reused.Recycle()
+	if err := reused.RestoreState(payload); err != nil {
+		t.Fatal(err)
+	}
+	if got := reused.Cycle(); got != 500_000 {
+		t.Fatalf("restored cycle %d, want 500000", got)
+	}
+	if err := reused.Run(0); err != nil {
+		t.Fatalf("recycled-machine run: %v (console: %q)", err, reused.Console())
+	}
+	got := resultBytes(t, core.Collect(reused, "compress", cfg.Core.String()))
+	reused.Release()
+
+	if !bytes.Equal(want, got) {
+		t.Fatalf("recycled machine diverges from fresh machine: %d vs %d bytes, first difference at byte %d",
+			len(want), len(got), firstDiff(want, got))
+	}
+}

@@ -1,6 +1,6 @@
 package softwatt
 
-// SMARTS-style sampled simulation (DESIGN.md §13). A full detailed run
+// SMARTS-style sampled simulation (DESIGN.md §13–14). A full detailed run
 // spends almost all its wall-clock simulating cycles whose power looks like
 // their neighbours'. Sampling replaces it with two phases:
 //
@@ -12,10 +12,15 @@ package softwatt
 //     entry is dropped and the interval doubles. The run's length need not
 //     be known in advance, yet the pass ends with N..2N evenly spaced
 //     checkpoints in constant memory — and the fast-forward happens once,
-//     not once to measure and again to checkpoint.
+//     not once to measure and again to checkpoint. With SampleOptions.
+//     FFCacheDir set, the pass's complete outcome persists in an
+//     internal/ffstore reservoir store keyed by the FF configuration
+//     digest, and later runs over the same key skip the pass entirely.
 //  2. N detailed windows, fanned out across the parallel job engine: each
 //     restores a checkpoint into a detailed-core machine, simulates W
-//     cycles, and measures the energy of exactly that window.
+//     cycles, and measures the energy of exactly that window. Each worker
+//     builds one machine and recycles it (Machine.Recycle + RestoreState)
+//     across all the windows it runs, paying one construction, not N.
 //
 // Window powers aggregate through Welford into a mean and a 95% confidence
 // interval; total CPU energy extrapolates as mean power x run length. A
@@ -24,14 +29,28 @@ package softwatt
 // detailed warmup stretch before measurement begins — SMARTS's detailed
 // warming, which removes most of the cold-start bias; what remains shows up
 // honestly in the spread of window powers, i.e. in the CI.
+//
+// With TargetCIW set, the window count is adaptive: windows run in waves
+// (doubling the total each wave, evenly spread over the reservoir entries
+// not yet measured) until the CI half-width reaches the target or
+// MaxWindows is hit — low-variance workloads converge in a wave or two,
+// and with a warm FF cache each extra wave costs only its new windows.
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"math"
+	"os"
+	"sort"
+	"strconv"
 	"strings"
 
+	"softwatt/internal/core"
 	"softwatt/internal/disk"
+	"softwatt/internal/ffstore"
 	"softwatt/internal/machine"
+	"softwatt/internal/obs"
 	"softwatt/internal/power"
 	"softwatt/internal/runner"
 	"softwatt/internal/stats"
@@ -42,6 +61,7 @@ import (
 // SampleOptions configure one sampled simulation.
 type SampleOptions struct {
 	// Windows is the number of detailed measurement windows (default 10).
+	// With TargetCIW set it is the first wave's size instead.
 	Windows int
 	// WindowCycles is the detailed-simulation length of each window
 	// (default 200000 cycles — ten statistics windows).
@@ -55,8 +75,67 @@ type SampleOptions struct {
 	// zero or negative uses GOMAXPROCS.
 	Workers int
 	// Progress, when non-nil, is called serially as each detailed window
-	// finishes, with the window's label (e.g. "compress[3]").
+	// finishes, with the window's label (e.g. "compress[3]"). Under
+	// adaptive sampling the done/total counts restart per wave.
 	Progress func(done, total int, label string, err error)
+
+	// TargetCIW, when positive, makes the window count adaptive: waves of
+	// detailed windows run until the 95% CI half-width of the mean power
+	// is at most TargetCIW watts (or MaxWindows windows have run, or the
+	// reservoir has no unmeasured checkpoints left).
+	TargetCIW float64
+	// MaxWindows caps adaptive sampling (default 32); ignored unless
+	// TargetCIW is set.
+	MaxWindows int
+	// ReservoirEntries overrides the fast-forward checkpoint reservoir's
+	// capacity (default: 2·Windows, or 2·MaxWindows when adaptive). The
+	// reservoir's content is a pure function of the FF configuration and
+	// this capacity, so it participates in the FF cache key.
+	ReservoirEntries int
+	// FFCacheDir, when non-empty, is a persistent fast-forward reservoir
+	// store (internal/ffstore): the pass's outcome is saved there keyed by
+	// the FF configuration digest, and a later run over the same key
+	// restores it instead of re-simulating the fast-forward.
+	FFCacheDir string
+}
+
+// resolve fills the option defaults and returns the effective reservoir
+// capacity, so the digest a cache key uses and the run itself agree.
+func (so SampleOptions) resolve() (SampleOptions, int) {
+	if so.Windows <= 0 {
+		so.Windows = 10
+	}
+	if so.WindowCycles == 0 {
+		so.WindowCycles = 200_000
+	}
+	if so.WarmupCycles == 0 {
+		so.WarmupCycles = int64(so.WindowCycles / 2)
+	}
+	if so.MaxWindows <= 0 {
+		so.MaxWindows = 32
+	}
+	if so.MaxWindows < so.Windows {
+		so.MaxWindows = so.Windows
+	}
+	capacity := 2 * so.Windows
+	if so.TargetCIW > 0 {
+		capacity = 2 * so.MaxWindows
+	}
+	if so.ReservoirEntries > 0 {
+		capacity = so.ReservoirEntries
+	}
+	if capacity < 2 {
+		capacity = 2
+	}
+	return so, capacity
+}
+
+// warmup returns the effective detailed warmup length in cycles.
+func (so SampleOptions) warmup() uint64 {
+	if so.WarmupCycles > 0 {
+		return uint64(so.WarmupCycles)
+	}
+	return 0
 }
 
 // WindowMeasure is one detailed measurement window of a sampled run.
@@ -75,10 +154,14 @@ type SampledResult struct {
 	Benchmark string
 	Core      string // detailed core the windows ran on
 	ClockHz   float64
+	// Digest keys the result for the sampled-result cache: the detailed
+	// configuration plus every sampling parameter that shapes the estimate.
+	Digest string
 
-	TotalCycles uint64 // full run length on the fast-forward timeline
-	Committed   uint64 // instructions committed over the full run
-	Windows     []WindowMeasure
+	TotalCycles  uint64 // full run length on the fast-forward timeline
+	Committed    uint64 // instructions committed over the full run
+	WindowCycles uint64 // requested detailed cycles per window
+	Windows      []WindowMeasure
 
 	SampledCycles uint64  // detailed cycles actually simulated
 	MeanPowerW    float64 // mean CPU power across windows
@@ -117,6 +200,104 @@ func cpuEnergyDelta(model *power.Model, before, after *[trace.NumModes]trace.Buc
 	return e
 }
 
+// ffConfigDigest is the fast-forward cache key: the FF (swift) machine
+// configuration — all of it, because e.g. the disk policy shifts spinup
+// timing and therefore checkpoint contents — plus the reservoir capacity,
+// which shapes the entry set. MaxCycles is excluded (the resume-checkpoint
+// convention): a reservoir is valid under any cycle budget.
+func ffConfigDigest(benchmark string, ffCfg machine.Config, capacity int) string {
+	ffCfg.MaxCycles = 0
+	entries := core.ConfigEntries(ffCfg)
+	entries = append(entries, trace.ConfigEntry{Key: "ff.reservoir_entries", Value: strconv.Itoa(capacity)})
+	return core.ConfigDigest(benchmark, ffCfg.Core.String(), entries)
+}
+
+// fastForward is phase 1: one swift pass to the end of the workload,
+// keeping the decimating checkpoint reservoir. Entries always sit at
+// consecutive multiples of the current interval; decimation fires when the
+// reservoir reaches capacity, and the kept (even-multiple) entries are
+// consecutive multiples of the doubled interval, so the invariant survives.
+func fastForward(benchmark string, w machine.Workload, ffCfg machine.Config, capacity int, digest string) (*ffstore.Reservoir, error) {
+	ff, err := machine.New(ffCfg, w)
+	if err != nil {
+		return nil, err
+	}
+	var entries []ffstore.Entry
+	interval := uint64(1) << 16
+	for !ff.Halted() {
+		if ff.Cycle() >= ffCfg.MaxCycles {
+			console := ff.Console()
+			ff.Release()
+			return nil, fmt.Errorf("softwatt: %s fast-forward did not halt within %d cycles (console: %q)",
+				benchmark, ffCfg.MaxCycles, console)
+		}
+		ff.StepCycles(interval - ff.Cycle()%interval)
+		if ff.Halted() {
+			break
+		}
+		entries = append(entries, ffstore.Entry{Cycle: ff.Cycle(), Payload: ff.Checkpoint()})
+		if len(entries) == capacity {
+			kept := entries[:0]
+			for _, c := range entries {
+				if c.Cycle%(interval*2) == 0 {
+					kept = append(kept, c)
+				}
+			}
+			entries = kept
+			interval *= 2
+		}
+	}
+	if ff.ExitCode() != 0 {
+		return nil, fmt.Errorf("softwatt: %s exited with code %d (console: %q)",
+			benchmark, ff.ExitCode(), ff.Console())
+	}
+	res := &ffstore.Reservoir{
+		Benchmark:   benchmark,
+		Digest:      digest,
+		TotalCycles: ff.Cycle(),
+		Committed:   ff.Committed,
+		DiskEnergyJ: ff.Disk().EnergyJ(ff.Cycle()),
+		DiskStats:   ff.Disk().Stats(),
+		IdleCycles:  ff.Collector().ModeTotals()[trace.ModeIdle].Cycles,
+		Entries:     entries,
+	}
+	ff.Release()
+	return res, nil
+}
+
+// loadOrFastForward answers phase 1 from the reservoir store when a cache
+// directory is configured and holds the key, fast-forwarding (and saving)
+// otherwise. A file that exists but fails to load or validate is counted,
+// warned about, and rebuilt over — the corrupt-cache contract run logs and
+// resume checkpoints follow.
+func loadOrFastForward(benchmark string, w machine.Workload, ffCfg machine.Config, capacity int, dir string) (*ffstore.Reservoir, error) {
+	digest := ffConfigDigest(benchmark, ffCfg, capacity)
+	if dir == "" {
+		return fastForward(benchmark, w, ffCfg, capacity, digest)
+	}
+	st := ffstore.Store{Dir: dir}
+	r, err := st.Load(benchmark, digest)
+	if err == nil {
+		obs.Batch().FFCacheHits.Inc()
+		return r, nil
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		obs.Batch().FFCacheCorrupt.Inc()
+		fmt.Fprintf(os.Stderr, "softwatt: corrupt fast-forward reservoir %s (rebuilding): %v\n",
+			st.Path(benchmark, digest), err)
+		os.Remove(st.Path(benchmark, digest))
+	}
+	obs.Batch().FFCacheMisses.Inc()
+	r, err = fastForward(benchmark, w, ffCfg, capacity, digest)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Save(r); err != nil {
+		return nil, fmt.Errorf("softwatt: saving fast-forward reservoir: %w", err)
+	}
+	return r, nil
+}
+
 // RunSampled estimates one benchmark's power by sampled simulation. The
 // options select the detailed core ("mipsy", "mxs", "mxs1") and machine
 // configuration; the fast-forward passes use the swift core over the same
@@ -145,154 +326,204 @@ func runSampledWorkload(benchmark string, w machine.Workload, opt Options, so Sa
 	if err != nil {
 		return nil, err
 	}
-	if so.Windows <= 0 {
-		so.Windows = 10
-	}
-	if so.WindowCycles == 0 {
-		so.WindowCycles = 200_000
-	}
-	if so.WarmupCycles == 0 {
-		so.WarmupCycles = int64(so.WindowCycles / 2)
-	}
-	warmup := uint64(0)
-	if so.WarmupCycles > 0 {
-		warmup = uint64(so.WarmupCycles)
-	}
+	so, capacity := so.resolve()
+	warmup := so.warmup()
+	adaptive := so.TargetCIW > 0
 
-	// Phase 1: one fast-forward pass to the end, keeping the decimating
-	// checkpoint reservoir. Entries always sit at consecutive multiples of
-	// the current interval; decimation fires on an even count, so the kept
-	// (even-multiple) entries are consecutive multiples of the doubled
-	// interval and the invariant survives.
-	ff, err := machine.New(ffCfg, w)
+	// Phase 1: the fast-forward pass, or its cached outcome.
+	ffres, err := loadOrFastForward(benchmark, w, ffCfg, capacity, so.FFCacheDir)
 	if err != nil {
 		return nil, err
 	}
-	type ffCkpt struct {
-		cycle   uint64
-		payload []byte
-	}
-	var cps []ffCkpt
-	interval := uint64(1) << 16
-	for !ff.Halted() {
-		if ff.Cycle() >= ffCfg.MaxCycles {
-			console := ff.Console()
-			ff.Release()
-			return nil, fmt.Errorf("softwatt: %s fast-forward did not halt within %d cycles (console: %q)",
-				benchmark, ffCfg.MaxCycles, console)
-		}
-		ff.StepCycles(interval - ff.Cycle()%interval)
-		if ff.Halted() {
-			break
-		}
-		cps = append(cps, ffCkpt{ff.Cycle(), ff.Checkpoint()})
-		if len(cps) == 2*so.Windows {
-			kept := cps[:0]
-			for _, c := range cps {
-				if c.cycle%(interval*2) == 0 {
-					kept = append(kept, c)
-				}
-			}
-			cps = kept
-			interval *= 2
-		}
-	}
-	if ff.ExitCode() != 0 {
-		return nil, fmt.Errorf("softwatt: %s exited with code %d (console: %q)",
-			benchmark, ff.ExitCode(), ff.Console())
-	}
 	res := &SampledResult{
-		Benchmark:   benchmark,
-		Core:        cfg.Core.String(),
-		ClockHz:     cfg.ClockHz,
-		TotalCycles: ff.Cycle(),
-		Committed:   ff.Committed,
-		DiskEnergyJ: ff.Disk().EnergyJ(ff.Cycle()),
-		DiskStats:   ff.Disk().Stats(),
-		IdleCycles:  ff.Collector().ModeTotals()[trace.ModeIdle].Cycles,
+		Benchmark:    benchmark,
+		Core:         cfg.Core.String(),
+		ClockHz:      cfg.ClockHz,
+		Digest:       sampledDigest(benchmark, cfg, so),
+		TotalCycles:  ffres.TotalCycles,
+		Committed:    ffres.Committed,
+		WindowCycles: so.WindowCycles,
+		DiskEnergyJ:  ffres.DiskEnergyJ,
+		DiskStats:    ffres.DiskStats,
+		IdleCycles:   ffres.IdleCycles,
 	}
-	ff.Release()
+	cps := ffres.Entries
 	if len(cps) == 0 {
 		return nil, fmt.Errorf("softwatt: run too short (%d cycles) for sampling", res.TotalCycles)
 	}
 
-	// Select the N windows from the reservoir, spread evenly across it.
-	// A checkpoint within warmup+W fast-forward cycles of the halt cannot
-	// fill its window (the detailed core needs at least as many cycles as
-	// swift for the remaining instruction stream), so such tail entries are
-	// skipped when enough earlier ones exist.
+	// Trim the reservoir's tail. A checkpoint within warmup+W fast-forward
+	// cycles of the halt cannot fill its window (the detailed core needs at
+	// least as many cycles as swift for the remaining instruction stream),
+	// so such entries are skipped when enough earlier ones exist: fixed
+	// sampling keeps at least its N windows (a short run still measures N
+	// windows, truncated if it must), adaptive keeps at least one.
+	minKeep := so.Windows
+	if adaptive {
+		minKeep = 1
+	}
 	eligible := cps
 	if res.TotalCycles > warmup+so.WindowCycles {
 		bound := res.TotalCycles - (warmup + so.WindowCycles)
 		n := len(cps)
-		for n > so.Windows && cps[n-1].cycle > bound {
+		for n > minKeep && cps[n-1].Cycle > bound {
 			n--
 		}
 		eligible = cps[:n]
 	}
-	if len(eligible) > so.Windows {
-		sel := make([]ffCkpt, so.Windows)
-		for i := range sel {
-			if so.Windows == 1 {
-				sel[i] = eligible[len(eligible)/2]
-				continue
-			}
-			sel[i] = eligible[(i*(len(eligible)-1))/(so.Windows-1)]
-		}
-		eligible = sel
-	}
-	payloads := make([][]byte, len(eligible))
-	for i, c := range eligible {
-		payloads[i] = c.payload
-	}
 
-	// Phase 3: detailed windows in parallel.
+	// Phase 2: detailed windows on a persistent worker pool. Each worker
+	// owns slot [worker]: it builds a machine for its first window and
+	// recycles it for the rest, so N windows pay one construction. OnStart
+	// runs on the worker's own goroutine immediately before the job body,
+	// which makes the workerOf handoff race-free.
 	model := power.Default()
-	jobs := make([]runner.Job[WindowMeasure], len(payloads))
-	for i := range payloads {
-		i := i
-		jobs[i] = runner.Job[WindowMeasure]{
-			Label: fmt.Sprintf("%s[%d]", benchmark, i),
-			Run: func() (WindowMeasure, error) {
-				m, err := machine.New(cfg, w)
-				if err != nil {
-					return WindowMeasure{}, err
-				}
-				defer m.Release()
-				if err := m.RestoreState(payloads[i]); err != nil {
-					return WindowMeasure{}, err
-				}
-				m.StepCycles(warmup)
-				start := m.Cycle()
-				before := m.Collector().ModeTotals()
-				m.StepCycles(so.WindowCycles)
-				after := m.Collector().ModeTotals()
-				wm := WindowMeasure{
-					Index:      i,
-					StartCycle: start,
-					Cycles:     m.Cycle() - start,
-					EnergyJ:    cpuEnergyDelta(model, &before, &after),
-				}
-				if wm.Cycles > 0 {
-					wm.PowerW = wm.EnergyJ / (float64(wm.Cycles) / cfg.ClockHz)
-				}
-				return wm, nil
-			},
+	pool := runner.NewPool(so.Workers)
+	defer pool.Close()
+	slots := make([]*machine.Machine, pool.Workers())
+	defer func() {
+		for _, m := range slots {
+			if m != nil {
+				m.Release()
+			}
 		}
-	}
-	windows, err := runner.Map(jobs, runner.Options{Workers: so.Workers, Progress: so.Progress})
-	if err != nil {
-		return nil, err
+	}()
+	runWave := func(entries []ffstore.Entry, base int) ([]WindowMeasure, error) {
+		jobs := make([]runner.Job[WindowMeasure], len(entries))
+		workerOf := make([]int, len(entries))
+		for i := range entries {
+			i := i
+			e := entries[i]
+			jobs[i] = runner.Job[WindowMeasure]{
+				Label: fmt.Sprintf("%s[%d]", benchmark, base+i),
+				Run: func() (WindowMeasure, error) {
+					worker := workerOf[i]
+					m := slots[worker]
+					if m == nil {
+						var err error
+						if m, err = machine.New(cfg, w); err != nil {
+							return WindowMeasure{}, err
+						}
+						slots[worker] = m
+					} else {
+						m.Recycle()
+					}
+					if err := m.RestoreState(e.Payload); err != nil {
+						// A half-restored machine must never be recycled.
+						m.Release()
+						slots[worker] = nil
+						return WindowMeasure{}, err
+					}
+					m.StepCycles(warmup)
+					start := m.Cycle()
+					before := m.Collector().ModeTotals()
+					m.StepCycles(so.WindowCycles)
+					after := m.Collector().ModeTotals()
+					wm := WindowMeasure{
+						Index:      base + i,
+						StartCycle: start,
+						Cycles:     m.Cycle() - start,
+						EnergyJ:    cpuEnergyDelta(model, &before, &after),
+					}
+					if wm.Cycles > 0 {
+						wm.PowerW = wm.EnergyJ / (float64(wm.Cycles) / cfg.ClockHz)
+					}
+					return wm, nil
+				},
+			}
+		}
+		return runner.MapOn(pool, jobs, runner.Options{
+			Progress: so.Progress,
+			OnStart:  func(worker, index int, label string) { workerOf[index] = worker },
+		})
 	}
 
 	var pw stats.Welford
-	for _, wm := range windows {
-		res.Windows = append(res.Windows, wm)
-		res.SampledCycles += wm.Cycles
-		if wm.Cycles > 0 {
-			pw.Add(wm.PowerW)
+	record := func(windows []WindowMeasure) {
+		for _, wm := range windows {
+			res.Windows = append(res.Windows, wm)
+			res.SampledCycles += wm.Cycles
+			if wm.Cycles > 0 {
+				pw.Add(wm.PowerW)
+			}
 		}
 	}
+
+	if !adaptive {
+		// Fixed mode: N windows spread evenly across the eligible entries.
+		sel := eligible
+		if len(eligible) > so.Windows {
+			sel = make([]ffstore.Entry, so.Windows)
+			for i := range sel {
+				if so.Windows == 1 {
+					sel[i] = eligible[len(eligible)/2]
+					continue
+				}
+				sel[i] = eligible[(i*(len(eligible)-1))/(so.Windows-1)]
+			}
+		}
+		windows, err := runWave(sel, 0)
+		if err != nil {
+			return nil, err
+		}
+		record(windows)
+	} else {
+		// Adaptive mode: waves double the measured window count, each wave
+		// spreading its picks evenly over the entries not yet measured,
+		// until the CI target, the window cap, or reservoir exhaustion.
+		unused := make([]ffstore.Entry, len(eligible))
+		copy(unused, eligible)
+		next := so.Windows
+		for {
+			if next > so.MaxWindows-len(res.Windows) {
+				next = so.MaxWindows - len(res.Windows)
+			}
+			if next > len(unused) {
+				next = len(unused)
+			}
+			if next <= 0 {
+				break
+			}
+			var wave []ffstore.Entry
+			if next == len(unused) {
+				wave, unused = unused, nil
+			} else {
+				picks := make([]int, next)
+				for i := range picks {
+					if next == 1 {
+						picks[i] = len(unused) / 2
+						continue
+					}
+					picks[i] = (i * (len(unused) - 1)) / (next - 1)
+				}
+				wave = make([]ffstore.Entry, next)
+				for i, p := range picks {
+					wave[i] = unused[p]
+				}
+				for i := len(picks) - 1; i >= 0; i-- {
+					unused = append(unused[:picks[i]], unused[picks[i]+1:]...)
+				}
+			}
+			windows, err := runWave(wave, len(res.Windows))
+			if err != nil {
+				return nil, err
+			}
+			record(windows)
+			if ci := pw.CI95(); !math.IsNaN(ci) && ci <= so.TargetCIW {
+				break
+			}
+			next = len(res.Windows)
+		}
+		// Waves picked entries out of timeline order; the report reads in
+		// StartCycle order.
+		sort.Slice(res.Windows, func(a, b int) bool {
+			return res.Windows[a].StartCycle < res.Windows[b].StartCycle
+		})
+		for i := range res.Windows {
+			res.Windows[i].Index = i
+		}
+	}
+
 	res.MeanPowerW = pw.Mean()
 	res.PowerCI95W = pw.CI95()
 	sec := float64(res.TotalCycles) / cfg.ClockHz
@@ -310,13 +541,17 @@ func RenderSampled(r *SampledResult) string {
 		r.TotalCycles, sec, r.ClockHz/1e6)
 	fmt.Fprintf(&b, "  committed         %12d instructions\n", r.Committed)
 	fmt.Fprintf(&b, "  windows           %12d x %d cycles (%.2f%% of run simulated in detail)\n",
-		len(r.Windows), windowLen(r), 100*float64(r.SampledCycles)/float64(r.TotalCycles))
+		len(r.Windows), r.WindowCycles, 100*float64(r.SampledCycles)/float64(r.TotalCycles))
 	fmt.Fprintf(&b, "  CPU power         %12.3f W  +/- %s W (95%% CI)\n", r.MeanPowerW, FmtCI(r.PowerCI95W))
 	fmt.Fprintf(&b, "  CPU energy        %12.3f J  +/- %s J\n", r.EnergyJ, FmtCI(r.EnergyCI95J))
 	fmt.Fprintf(&b, "  disk energy       %12.3f J (exact)\n", r.DiskEnergyJ)
 	for _, wm := range r.Windows {
-		fmt.Fprintf(&b, "    window %2d @ cycle %12d: %8.3f W over %d cycles\n",
-			wm.Index, wm.StartCycle, wm.PowerW, wm.Cycles)
+		truncated := ""
+		if wm.Cycles < r.WindowCycles {
+			truncated = " (truncated)"
+		}
+		fmt.Fprintf(&b, "    window %2d @ cycle %12d: %8.3f W over %d cycles%s\n",
+			wm.Index, wm.StartCycle, wm.PowerW, wm.Cycles, truncated)
 	}
 	return b.String()
 }
@@ -330,11 +565,4 @@ func FmtCI(v float64) string {
 		return "n/a"
 	}
 	return fmt.Sprintf("%.3f", v)
-}
-
-func windowLen(r *SampledResult) uint64 {
-	if len(r.Windows) == 0 {
-		return 0
-	}
-	return r.Windows[0].Cycles
 }

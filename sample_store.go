@@ -1,0 +1,256 @@
+package softwatt
+
+// Sampled-result persistence (DESIGN.md §14). A SampledResult is a report
+// artefact like a RunResult: once computed it can be saved and re-rendered
+// with zero simulation. This file mirrors the run-log cache contract for
+// sampled estimates — a versioned self-describing file (one SRES section
+// in the v2 log container), atomic writes, a digest key covering the
+// detailed configuration plus every sampling parameter that shapes the
+// estimate, corrupt files counted and re-sampled over.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"softwatt/internal/ckpt"
+	"softwatt/internal/core"
+	"softwatt/internal/machine"
+	"softwatt/internal/obs"
+	"softwatt/internal/trace"
+)
+
+// tagSampled is the container section carrying an encoded SampledResult.
+var tagSampled = [4]byte{'S', 'R', 'E', 'S'}
+
+// sampledResultVersion versions the SRES payload encoding.
+const sampledResultVersion = 1
+
+// sampledDigest is the sampled-result cache key: the resolved detailed
+// configuration (the same entries a run log records) plus the resolved
+// sampling parameters. Anything that changes the estimate changes the key;
+// parameters that do not apply (the adaptive cap under fixed sampling) are
+// normalised out so equivalent requests share a key.
+func sampledDigest(benchmark string, cfg machine.Config, so SampleOptions) string {
+	so, capacity := so.resolve()
+	maxw := 0
+	if so.TargetCIW > 0 {
+		maxw = so.MaxWindows
+	}
+	entries := core.ConfigEntries(cfg)
+	entries = append(entries,
+		trace.ConfigEntry{Key: "sample.windows", Value: strconv.Itoa(so.Windows)},
+		trace.ConfigEntry{Key: "sample.window_cycles", Value: strconv.FormatUint(so.WindowCycles, 10)},
+		trace.ConfigEntry{Key: "sample.warmup_cycles", Value: strconv.FormatUint(so.warmup(), 10)},
+		trace.ConfigEntry{Key: "sample.ci_target", Value: strconv.FormatFloat(so.TargetCIW, 'g', -1, 64)},
+		trace.ConfigEntry{Key: "sample.max_windows", Value: strconv.Itoa(maxw)},
+		trace.ConfigEntry{Key: "sample.reservoir_entries", Value: strconv.Itoa(capacity)},
+	)
+	return core.ConfigDigest(benchmark, cfg.Core.String(), entries)
+}
+
+// SampledDigest returns the cache key a sampled run of the benchmark under
+// these options would carry.
+func SampledDigest(benchmark string, opt Options, so SampleOptions) (string, error) {
+	cfg, err := opt.MachineConfig()
+	if err != nil {
+		return "", err
+	}
+	return sampledDigest(benchmark, cfg, so), nil
+}
+
+// SampledCacheFileName is the file name RunSampledCached uses for a
+// sampled run within the cache directory.
+func SampledCacheFileName(benchmark string, opt Options, so SampleOptions) (string, error) {
+	digest, err := SampledDigest(benchmark, opt, so)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s-%s.swsmp", benchmark, digest), nil
+}
+
+// encodeSampledResult serialises a result as an SRES payload.
+func encodeSampledResult(r *SampledResult) []byte {
+	var w ckpt.Writer
+	w.U32(sampledResultVersion)
+	w.Str(r.Benchmark)
+	w.Str(r.Core)
+	w.Str(r.Digest)
+	w.F64(r.ClockHz)
+	w.U64(r.TotalCycles)
+	w.U64(r.Committed)
+	w.U64(r.WindowCycles)
+	w.U64(r.SampledCycles)
+	w.F64(r.MeanPowerW)
+	w.F64(r.PowerCI95W)
+	w.F64(r.EnergyJ)
+	w.F64(r.EnergyCI95J)
+	w.F64(r.DiskEnergyJ)
+	w.U64(r.IdleCycles)
+	w.U64(r.DiskStats.Reads)
+	w.U64(r.DiskStats.Writes)
+	w.U64(r.DiskStats.BytesMoved)
+	w.U64(r.DiskStats.Spinups)
+	w.U64(r.DiskStats.Spindowns)
+	w.U32(uint32(len(r.DiskStats.StateCycles)))
+	for _, c := range r.DiskStats.StateCycles {
+		w.U64(c)
+	}
+	w.U32(uint32(len(r.Windows)))
+	for i := range r.Windows {
+		wm := &r.Windows[i]
+		w.U64(uint64(wm.Index))
+		w.U64(wm.StartCycle)
+		w.U64(wm.Cycles)
+		w.F64(wm.EnergyJ)
+		w.F64(wm.PowerW)
+	}
+	return w.Bytes()
+}
+
+// decodeSampledResult parses an SRES payload. Hostile input fails with an
+// error, never a panic or an outsized allocation.
+func decodeSampledResult(data []byte) (*SampledResult, error) {
+	r := ckpt.NewReader(data)
+	if v := r.U32(); v != sampledResultVersion && r.Err() == nil {
+		return nil, fmt.Errorf("softwatt: unsupported sampled-result version %d", v)
+	}
+	res := &SampledResult{
+		Benchmark: r.Str(),
+		Core:      r.Str(),
+		Digest:    r.Str(),
+	}
+	res.ClockHz = r.F64()
+	res.TotalCycles = r.U64()
+	res.Committed = r.U64()
+	res.WindowCycles = r.U64()
+	res.SampledCycles = r.U64()
+	res.MeanPowerW = r.F64()
+	res.PowerCI95W = r.F64()
+	res.EnergyJ = r.F64()
+	res.EnergyCI95J = r.F64()
+	res.DiskEnergyJ = r.F64()
+	res.IdleCycles = r.U64()
+	res.DiskStats.Reads = r.U64()
+	res.DiskStats.Writes = r.U64()
+	res.DiskStats.BytesMoved = r.U64()
+	res.DiskStats.Spinups = r.U64()
+	res.DiskStats.Spindowns = r.U64()
+	if n := r.Count(8); n != len(res.DiskStats.StateCycles) && r.Err() == nil {
+		return nil, fmt.Errorf("softwatt: %d disk state counters, want %d",
+			n, len(res.DiskStats.StateCycles))
+	}
+	for i := range res.DiskStats.StateCycles {
+		res.DiskStats.StateCycles[i] = r.U64()
+	}
+	n := r.Count(8 + 8 + 8 + 8 + 8) // index, start, cycles, energy, power
+	res.Windows = make([]WindowMeasure, n)
+	for i := range res.Windows {
+		wm := &res.Windows[i]
+		wm.Index = int(r.U64())
+		wm.StartCycle = r.U64()
+		wm.Cycles = r.U64()
+		wm.EnergyJ = r.F64()
+		wm.PowerW = r.F64()
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("softwatt: sampled result: %w", err)
+	}
+	return res, nil
+}
+
+// SaveSampledResult serialises a sampled result to w in the v2 container
+// format (one SRES section). A loaded result re-renders the identical
+// report.
+func SaveSampledResult(w *os.File, r *SampledResult) error {
+	return trace.WriteSectionContainer(w, tagSampled, encodeSampledResult(r))
+}
+
+// SaveSampledResultFile writes a sampled-result file, creating or
+// replacing path atomically (temp + rename): concurrent readers see the
+// old complete file, no file, or the new complete file.
+func SaveSampledResultFile(path string, r *SampledResult) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := SaveSampledResult(f, r); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// LoadSampledResultFile reads a sampled-result file.
+func LoadSampledResultFile(path string) (*SampledResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := trace.ReadSectionContainer(bytes.NewReader(data), tagSampled)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	r, err := decodeSampledResult(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// RunSampledCached is RunSampled backed by a directory of saved sampled
+// results: a run whose result is present (matched by digest) loads instead
+// of simulating anything at all — no fast-forward, no windows — and a miss
+// samples and saves. A file that exists but fails to load is counted and
+// warned about, then re-sampled over; a digest mismatch is a plain miss.
+// This mirrors the run-log cache contract (RunBatchCached) for sampled
+// estimates.
+func RunSampledCached(benchmark string, opt Options, so SampleOptions, dir string) (*SampledResult, error) {
+	if dir == "" {
+		return RunSampled(benchmark, opt, so)
+	}
+	digest, err := SampledDigest(benchmark, opt, so)
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-%s.swsmp", benchmark, digest))
+	r, err := LoadSampledResultFile(path)
+	if err == nil && r.Digest == digest {
+		obs.Batch().SampledCacheHits.Inc()
+		return r, nil
+	}
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		obs.Batch().SampledCacheCorrupt.Inc()
+		fmt.Fprintf(os.Stderr, "softwatt: corrupt sampled result %s (re-sampling): %v\n", path, err)
+	}
+	obs.Batch().SampledCacheMisses.Inc()
+	r, err = RunSampled(benchmark, opt, so)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := SaveSampledResultFile(path, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -4,7 +4,11 @@
 # ns/inst per core) plus host metadata, for CI artifacts and before/after
 # comparisons. A second entry runs BenchmarkSampledSpeedup: a ~10^8-cycle
 # workload simulated both ways (full-detail mipsy vs sampled, DESIGN.md
-# §13), recorded as the "sampled" object with its wall-clock speedup.
+# §13), recorded as the "sampled" object with its wall-clock speedup. A
+# third runs BenchmarkSampledWarmFF: the same sampled workload cold (the
+# run that populates a fast-forward reservoir cache) and warm (the run
+# that restores it, DESIGN.md §14), recorded as the "sampled_warm" object;
+# the benchmark itself fails if the two results are not identical.
 #
 # After writing the fresh snapshot the script compares it against the
 # committed baseline (git HEAD's BENCH_softwatt.json, also copied to
@@ -12,7 +16,9 @@
 # core's mcycles_per_s dropped more than BENCH_TOLERANCE (default 0.15)
 # relative to the baseline, or if the sampled speedup fell below
 # SAMPLED_MIN_SPEEDUP (default 5 — the §13 claim; both sides of the ratio
-# run on this host, so it does not need a host-specific tolerance).
+# run on this host, so it does not need a host-specific tolerance), or if
+# the warm-over-cold FF-cache speedup fell below FFWARM_MIN_SPEEDUP
+# (default 3 — the §14 claim, same-host ratio again).
 # BENCHTIME controls -benchtime (default 5x).
 #
 # Usage: scripts/bench.sh [output.json]
@@ -22,13 +28,15 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_softwatt.json}"
 raw="$(mktemp)"
 sraw="$(mktemp)"
-trap 'rm -f "$raw" "$sraw"' EXIT
+wraw="$(mktemp)"
+trap 'rm -f "$raw" "$sraw" "$wraw"' EXIT
 
 rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
 go test -run '^$' -bench 'BenchmarkSimulatorThroughput' -benchtime "${BENCHTIME:-5x}" . | tee "$raw"
-go test -run '^$' -bench 'BenchmarkSampledSpeedup' -benchtime 1x . | tee "$sraw"
+go test -run '^$' -bench 'BenchmarkSampledSpeedup$' -benchtime 1x . | tee "$sraw"
+go test -run '^$' -bench 'BenchmarkSampledWarmFF' -benchtime 1x . | tee "$wraw"
 
 # Pull the sampled-mode metrics out of the benchmark line.
 smetric() {
@@ -41,9 +49,20 @@ detailed_s="$(smetric detailed-s)"
 speedup="$(smetric speedup-x)"
 ci95="$(smetric ci95-W)"
 
+# Same extraction for the warm FF-cache benchmark line.
+wmetric() {
+	awk -v unit="$1" '/^BenchmarkSampledWarmFF/ {
+		for (i = 2; i < NF; i++) if ($(i+1) == unit) print $i
+	}' "$wraw"
+}
+cold_s="$(wmetric cold-s)"
+warm_s="$(wmetric warm-s)"
+warmspeed="$(wmetric warmspeed-x)"
+
 awk -v out="$out" -v rev="$rev" -v date="$date" \
 	-v sampled_s="$sampled_s" -v detailed_s="$detailed_s" \
-	-v speedup="$speedup" -v ci95="$ci95" '
+	-v speedup="$speedup" -v ci95="$ci95" \
+	-v cold_s="$cold_s" -v warm_s="$warm_s" -v warmspeed="$warmspeed" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^goos:/ { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -70,8 +89,10 @@ END {
         sep = ","
     }
     printf "\n  },\n" > out
-    printf "  \"sampled\": {\"sampled_s\": %s, \"detailed_s\": %s, \"speedup_x\": %s, \"ci95_w\": %s}\n", \
+    printf "  \"sampled\": {\"sampled_s\": %s, \"detailed_s\": %s, \"speedup_x\": %s, \"ci95_w\": %s},\n", \
         sampled_s, detailed_s, speedup, ci95 > out
+    printf "  \"sampled_warm\": {\"cold_s\": %s, \"warm_s\": %s, \"warmspeed_x\": %s}\n", \
+        cold_s, warm_s, warmspeed > out
     printf "}\n" > out
 }' "$raw"
 
@@ -85,6 +106,19 @@ awk -v s="$speedup" -v min="$min_speedup" 'BEGIN {
 	printf "bench: sampled speedup %.2fx over full-detail mipsy (floor %.1fx)\n", s, min
 	if (s + 0 < min + 0) {
 		printf "bench: REGRESSION: sampled mode is below the %.1fx floor\n", min
+		exit 1
+	}
+}'
+
+# Warm FF-cache gate: the §14 claim is that a warm reservoir cache makes a
+# repeat sampled run >=3x faster than the cold run that populated it (the
+# benchmark already failed if the results differed). Same-host ratio, so a
+# fixed floor works everywhere.
+min_warm="${FFWARM_MIN_SPEEDUP:-3}"
+awk -v s="$warmspeed" -v min="$min_warm" 'BEGIN {
+	printf "bench: warm FF-cache speedup %.2fx over cold sampled run (floor %.1fx)\n", s, min
+	if (s + 0 < min + 0) {
+		printf "bench: REGRESSION: warm FF-cache runs are below the %.1fx floor\n", min
 		exit 1
 	}
 }'
