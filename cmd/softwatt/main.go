@@ -32,8 +32,15 @@
 //	         [-j N] [-profile] [-services] [-log file] [-o file]
 //	         [-sample N] [-window W] [-ci T] [-maxwindows N]
 //	         [-ffcache dir] [-ckpt dir]
+//	         [-eprof out.pb.gz] [-timeline N]
 //	         [-http addr] [-trace file.json] <benchmark ...>
 //	softwatt -replay [-profile] [-services] <run.swlog|run.swsmp ...>
+//
+// -eprof attributes every joule to the guest code that spent it and writes
+// a gzipped pprof profile (energy flame graphs via go tool pprof);
+// -timeline N records per-component/per-mode power every N cycles into the
+// run result (saved by -o, rendered by swreport -timeline) and, while the
+// run is live, exports it as /metrics gauges and Perfetto counter tracks.
 //
 // -http serves live Prometheus-text metrics and pprof while the run is in
 // flight; -trace writes a Chrome trace-event JSON of the run pipeline
@@ -70,6 +77,8 @@ func main() {
 	maxWindows := flag.Int("maxwindows", 0, "window cap for adaptive sampling (0 = default 32)")
 	ffCache := flag.String("ffcache", "", "fast-forward reservoir cache directory: sampled runs restore saved fast-forward passes and save new ones")
 	ckptDir := flag.String("ckpt", "", "checkpoint directory: detailed runs save periodic checkpoints and resume from the last one")
+	eprofFile := flag.String("eprof", "", "write the guest energy profile as a gzipped pprof profile.proto to this file (single benchmark only; view with go tool pprof)")
+	timeline := flag.Uint64("timeline", 0, "record a power timeline point every N cycles into the run result (0 = off); export live when -http/-trace are active")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: softwatt [flags] <benchmark ...>\n"+
 			"       softwatt -replay [flags] <run.swlog ...>\nbenchmarks: %v\n", softwatt.Benchmarks)
@@ -125,9 +134,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "softwatt: -o needs a single benchmark")
 		os.Exit(2)
 	}
-	opt := softwatt.Options{Core: *coreKind, DiskPolicy: *diskPol, CheckpointDir: *ckptDir}
+	if *eprofFile != "" && len(benches) > 1 {
+		fmt.Fprintln(os.Stderr, "softwatt: -eprof needs a single benchmark")
+		os.Exit(2)
+	}
+	opt := softwatt.Options{
+		Core: *coreKind, DiskPolicy: *diskPol, CheckpointDir: *ckptDir,
+		EnergyProfile:  *eprofFile != "",
+		TimelineCycles: *timeline,
+	}
 
 	if *sample > 0 || *ciTarget > 0 {
+		if *eprofFile != "" {
+			fmt.Fprintln(os.Stderr, "softwatt: -eprof needs a full detailed run, not -sample")
+			os.Exit(2)
+		}
 		// Sampled estimation replaces the detailed report; the sample
 		// windows do not produce the service/profile data a run log holds,
 		// so -o saves the sampled result itself (-replay re-renders it).
@@ -214,6 +235,13 @@ func main() {
 			prof.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote run log %s\n", *outFile)
+	}
+	if *eprofFile != "" {
+		if err := softwatt.WriteEnergyProfileFile(*eprofFile, results[0]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			prof.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote energy profile %s\n", *eprofFile)
 	}
 }
 

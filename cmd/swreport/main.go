@@ -22,11 +22,20 @@
 // which cross-checks the sampled-simulation estimator against a full
 // detailed run.
 //
+// A second mode turns swreport into a run-log viewer: with -eprof-top,
+// -timeline, -timeline-csv, or -eprof, the positional arguments are saved
+// v2 run logs (.swlog) and the requested energy-profile/power-timeline
+// renderings are produced from them with zero simulation. The logs must
+// have been recorded with the matching softwatt/swsweep flags (-eprof,
+// -timeline); see DESIGN.md §15.
+//
 // Usage:
 //
 //	swreport [-j N] [-logs dir] [-ckpt dir] [-http addr] [-trace file.json]
 //	         [-sample N] [-window W]
 //	         [-exp all|v1|t1|f2|f3|f4|f5|f6|f7|f8|f9|t2|t3|t4|t5|x1|x2|a1|a2|s1]
+//	swreport [-eprof-top N] [-timeline] [-timeline-csv] [-eprof out.pb.gz]
+//	         <run.swlog ...>
 package main
 
 import (
@@ -55,6 +64,10 @@ func main() {
 	window := flag.Uint64("window", 0, "detailed cycles per s1 sample window (0 = default 100000)")
 	ciTarget := flag.Float64("ci", 0, "adaptive s1 sampling: add window waves until the 95% CI half-width is at most this many watts")
 	ffCache := flag.String("ffcache", "", "fast-forward reservoir cache directory for the s1 sampled run")
+	eprofTop := flag.Int("eprof-top", 0, "log-viewer mode: print the N hottest guest code regions by energy from each positional run log")
+	timelineSpark := flag.Bool("timeline", false, "log-viewer mode: print each positional run log's power timeline as terminal sparklines")
+	timelineCSV := flag.Bool("timeline-csv", false, "log-viewer mode: print each positional run log's power timeline as CSV")
+	eprofOut := flag.String("eprof", "", "log-viewer mode: write the single positional run log's energy profile as a gzipped pprof file")
 	flag.Parse()
 	if err := pr.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -67,6 +80,14 @@ func main() {
 	}
 	prof.OnExit(ob.Stop)
 	defer ob.Stop()
+
+	if *eprofTop > 0 || *timelineSpark || *timelineCSV || *eprofOut != "" {
+		if err := viewLogs(flag.Args(), *eprofTop, *timelineSpark, *timelineCSV, *eprofOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			prof.Exit(1)
+		}
+		return
+	}
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
@@ -81,6 +102,43 @@ func main() {
 			prof.Exit(1)
 		}
 	}
+}
+
+// viewLogs is the log-viewer mode: render energy profiles and power
+// timelines from saved run logs with zero simulation.
+func viewLogs(paths []string, top int, spark, csv bool, eprofOut string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("swreport: -eprof-top/-timeline/-eprof need run-log arguments")
+	}
+	if eprofOut != "" && len(paths) > 1 {
+		return fmt.Errorf("swreport: -eprof needs a single run log")
+	}
+	est := softwatt.NewEstimator()
+	for i, path := range paths {
+		res, err := softwatt.LoadResultFile(path)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if top > 0 {
+			fmt.Print(est.RenderEProfTop(res, top, softwatt.Symbolizer(res.Benchmark)))
+		}
+		if spark {
+			fmt.Print(est.RenderTimeline(res, 64))
+		}
+		if csv {
+			fmt.Print(est.RenderTimelineCSV(res))
+		}
+		if eprofOut != "" {
+			if err := softwatt.WriteEnergyProfileFile(eprofOut, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote energy profile %s\n", eprofOut)
+		}
+	}
+	return nil
 }
 
 type state struct {

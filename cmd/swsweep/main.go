@@ -42,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"softwatt"
 	"softwatt/internal/obs"
@@ -60,6 +61,8 @@ func main() {
 	window := flag.Uint64("window", 0, "detailed cycles per sample window (0 = default 200000)")
 	ciTarget := flag.Float64("ci", 0, "adaptive sampling: add window waves per cell until the 95% CI half-width is at most this many watts")
 	ffCache := flag.String("ffcache", "", "fast-forward reservoir cache directory for sampled cells")
+	eprofDir := flag.String("eprof", "", "write each cell's guest energy profile (gzipped pprof) into this directory as <bench>_<policy>.pb.gz")
+	timeline := flag.Uint64("timeline", 0, "record a power timeline point every N cycles into each cell's run result (0 = off)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: swsweep [-j N] [-q] [-logs dir] [benchmark ...]\nbenchmarks: %v\n", softwatt.Benchmarks)
 		flag.PrintDefaults()
@@ -83,6 +86,10 @@ func main() {
 	}
 
 	if *sample > 0 || *ciTarget > 0 {
+		if *eprofDir != "" || *timeline > 0 {
+			fmt.Fprintln(os.Stderr, "swsweep: -eprof/-timeline need full detailed cells, not -sample")
+			os.Exit(2)
+		}
 		so := softwatt.SampleOptions{
 			Windows:      *sample,
 			WindowCycles: *window,
@@ -97,13 +104,23 @@ func main() {
 		return
 	}
 
+	if *eprofDir != "" {
+		if err := os.MkdirAll(*eprofDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			prof.Exit(1)
+		}
+	}
 	var specs []softwatt.RunSpec
 	for _, bench := range benches {
 		for _, pol := range softwatt.DiskPolicies {
 			specs = append(specs, softwatt.RunSpec{
 				Benchmark: bench,
-				Options:   softwatt.Options{Core: *coreKind, DiskPolicy: pol, CheckpointDir: *ckptDir},
-				Label:     bench + "/" + pol,
+				Options: softwatt.Options{
+					Core: *coreKind, DiskPolicy: pol, CheckpointDir: *ckptDir,
+					EnergyProfile:  *eprofDir != "",
+					TimelineCycles: *timeline,
+				},
+				Label: bench + "/" + pol,
 			})
 		}
 	}
@@ -133,6 +150,26 @@ func main() {
 		}
 	}
 	fmt.Print(softwatt.RenderFig9(rows))
+	if *eprofDir != "" {
+		for i, r := range results {
+			if r == nil {
+				continue
+			}
+			if len(r.EProf) == 0 {
+				// A warm cell loaded from a log recorded without -eprof has
+				// no profile to write; say so instead of silently skipping.
+				fmt.Fprintf(os.Stderr, "swsweep: %s: cached log has no energy profile, skipping\n", specs[i].Label)
+				continue
+			}
+			path := filepath.Join(*eprofDir,
+				specs[i].Benchmark+"_"+specs[i].Options.DiskPolicy+".pb.gz")
+			if err := softwatt.WriteEnergyProfileFile(path, r); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				prof.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote energy profiles to %s\n", *eprofDir)
+	}
 }
 
 // sampledSweep reproduces the Figure 9 grid by sampled simulation. Each

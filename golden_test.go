@@ -101,6 +101,57 @@ func TestGoldenResultBytes(t *testing.T) {
 	}
 }
 
+// TestGoldenObservabilityInvariance enforces the observability acceptance
+// contract: enabling the energy profiler and the power timeline must not
+// change a single architected byte of the result. The run is repeated with
+// both features on; after stripping the observability-only sections the
+// serialized bytes must equal the committed golden exactly, and the config
+// digest must be unchanged (the knobs are excluded from ConfigEntries).
+func TestGoldenObservabilityInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-run golden comparison skipped in -short mode")
+	}
+	opt := Options{Core: "mipsy", EnergyProfile: true, TimelineCycles: 1_000_000}
+	r, err := Run("compress", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.EProf) == 0 {
+		t.Fatal("energy profiling enabled but result carries no EProf entries")
+	}
+	if len(r.Timeline) == 0 {
+		t.Fatal("timeline enabled but result carries no points")
+	}
+
+	digest := ResultDigest(r)
+	want, err := os.ReadFile(goldenPath("compress-mipsy", ".swlog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest, err := os.ReadFile(goldenPath("compress-mipsy", ".digest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest+"\n" != string(wantDigest) {
+		t.Errorf("observability knobs leaked into the config digest: %q vs golden %q",
+			digest, string(wantDigest))
+	}
+
+	// Strip the observability payload; everything that remains is the
+	// architected result and must match the golden byte for byte.
+	r.Timeline, r.EProf, r.EProfShift = nil, nil, 0
+	var buf bytes.Buffer
+	if err := SaveResult(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("result with -eprof/-timeline diverges from golden after stripping "+
+			"observability sections (%d bytes vs %d, first difference at byte %d): "+
+			"the profiler or timeline perturbed architected state",
+			buf.Len(), len(want), firstDiff(buf.Bytes(), want))
+	}
+}
+
 func firstDiff(a, b []byte) int {
 	n := len(a)
 	if len(b) < n {

@@ -38,6 +38,16 @@ type RunResult struct {
 	DiskEnergyJ float64
 	DiskStats   disk.Stats
 	IdleCycles  uint64
+
+	// Timeline is the run's power timeline (empty unless recorded with
+	// Options.TimelineCycles); EProf the aggregated energy profile (empty
+	// unless Options.EnergyProfile), sorted by (PCBucket, Mode, ASID),
+	// with EProfShift the PC bucket shift. All three round-trip through
+	// run logs, so cached/replayed logs re-render timelines and profiles
+	// with zero simulation.
+	Timeline   []trace.TimelinePoint
+	EProf      []trace.EProfEntry
+	EProfShift uint32
 }
 
 // Collect extracts a RunResult from a finished machine.
@@ -59,6 +69,9 @@ func Collect(m *machine.Machine, benchmark, coreName string) *RunResult {
 		r.Services[s] = *col.ServiceStats(s)
 	}
 	r.IdleCycles = r.ModeTotals[trace.ModeIdle].Cycles
+	// After col.Finish: the trailing timeline point folds the last flushed
+	// window, and the profiler sink has received the final pending batch.
+	r.Timeline = m.FinishTimeline()
 	return r
 }
 

@@ -95,7 +95,10 @@ func (r *RunResult) ToRecord() *trace.RunRecord {
 			Spindowns:   r.DiskStats.Spindowns,
 			StateCycles: append([]uint64(nil), r.DiskStats.StateCycles[:]...),
 		},
-		Samples: r.Samples,
+		Samples:    r.Samples,
+		Timeline:   r.Timeline,
+		EProf:      r.EProf,
+		EProfShift: r.EProfShift,
 	}
 	for s := range r.Services {
 		sv := &r.Services[s]
@@ -121,6 +124,9 @@ func FromRecord(rec *trace.RunRecord) *RunResult {
 		Committed:   rec.Committed,
 		IdleCycles:  rec.IdleCycles,
 		DiskEnergyJ: rec.DiskEnergyJ,
+		Timeline:    rec.Timeline,
+		EProf:       rec.EProf,
+		EProfShift:  rec.EProfShift,
 		DiskStats: disk.Stats{
 			Reads:      rec.Disk.Reads,
 			Writes:     rec.Disk.Writes,

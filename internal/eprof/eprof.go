@@ -1,0 +1,152 @@
+// Package eprof is the guest energy profiler (DESIGN.md §15): it aggregates
+// the simulator's attribution batches into energy totals keyed by guest code
+// region — (PC bucket, execution mode, ASID) — and emits them as a pprof
+// profile (energy flame graphs under `go tool pprof`) or a text table.
+//
+// The profiler sits behind the collector's trace.EnergySink interface and is
+// charged only at attribution boundaries (PC-bucket moves, context switches,
+// window flushes), never per cycle. Energy is computed at charge time from
+// flattened power-model coefficients — valid because every BucketEnergy term
+// is linear in the bucket's counts (power.Model.EProfCoeffs) — so the table
+// holds finished picojoule totals and no post-processing pass is needed.
+package eprof
+
+import (
+	"math/bits"
+	"sort"
+
+	"softwatt/internal/trace"
+)
+
+// DefaultShift buckets guest PCs into 64-byte (16-instruction) regions — a
+// cache-line of code, fine enough to separate loops within a routine while
+// keeping the table a few thousand entries on the paper's workloads.
+const DefaultShift = 6
+
+type entry struct {
+	key      uint64 // occupied<<63 | pcBucket<<16 | asid<<8 | mode
+	cycles   uint64
+	insts    uint64
+	energyPJ float64
+}
+
+const occupied = 1 << 63
+
+func packKey(pcBucket uint32, mode trace.Mode, asid uint8) uint64 {
+	return occupied | uint64(pcBucket)<<16 | uint64(asid)<<8 | uint64(mode)
+}
+
+// Profiler implements trace.EnergySink with a flat open-addressed hash
+// table (linear probing, power-of-two capacity, grow at 3/4 load). A flat
+// table keeps Charge allocation-free on the hot path and makes the whole
+// structure two slabs for the GC to scan.
+type Profiler struct {
+	shift   uint32
+	unitPJ  [trace.NumUnits]float64
+	cyclePJ float64
+
+	entries []entry
+	n       int // occupied slots
+	mask    uint64
+}
+
+// New creates a profiler for PC buckets of 1<<shift bytes, converting
+// activity to picojoules with the given flattened coefficients (from
+// power.Model.EProfCoeffs).
+func New(shift uint32, unitPJ [trace.NumUnits]float64, cyclePJ float64) *Profiler {
+	const initialCap = 1 << 10
+	return &Profiler{
+		shift:   shift,
+		unitPJ:  unitPJ,
+		cyclePJ: cyclePJ,
+		entries: make([]entry, initialCap),
+		mask:    initialCap - 1,
+	}
+}
+
+// Shift returns the PC bucket shift.
+func (p *Profiler) Shift() uint32 { return p.shift }
+
+// Len returns the number of distinct (PC bucket, mode, ASID) keys charged.
+func (p *Profiler) Len() int { return p.n }
+
+// Charge implements trace.EnergySink: convert the batch to picojoules and
+// fold it into the key's row.
+func (p *Profiler) Charge(pcBucket uint32, mode trace.Mode, asid uint8, b *trace.Bucket) {
+	pj := float64(b.Cycles) * p.cyclePJ
+	for u, n := range b.Units {
+		if n != 0 {
+			pj += float64(n) * p.unitPJ[u]
+		}
+	}
+	e := p.slot(packKey(pcBucket, mode, asid))
+	e.cycles += b.Cycles
+	e.insts += b.Insts
+	e.energyPJ += pj
+}
+
+// slot returns the entry for key, inserting (and growing if needed) when
+// absent. Fibonacci hashing spreads the packed key across the table.
+func (p *Profiler) slot(key uint64) *entry {
+	i := (key * 0x9E3779B97F4A7C15) >> (64 - uint(bits.TrailingZeros64(p.mask+1)))
+	for {
+		e := &p.entries[i]
+		if e.key == key {
+			return e
+		}
+		if e.key == 0 {
+			if p.n+1 > len(p.entries)*3/4 {
+				p.grow()
+				return p.slot(key)
+			}
+			p.n++
+			e.key = key
+			return e
+		}
+		i = (i + 1) & p.mask
+	}
+}
+
+func (p *Profiler) grow() {
+	old := p.entries
+	p.entries = make([]entry, len(old)*2)
+	p.mask = uint64(len(p.entries) - 1)
+	p.n = 0
+	for i := range old {
+		if old[i].key != 0 {
+			e := p.slot(old[i].key)
+			*e = old[i]
+		}
+	}
+}
+
+// Entries returns the aggregated profile sorted by (PCBucket, Mode, ASID) —
+// a deterministic order, so serialized profiles are byte-stable across runs.
+func (p *Profiler) Entries() []trace.EProfEntry {
+	out := make([]trace.EProfEntry, 0, p.n)
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.key == 0 {
+			continue
+		}
+		out = append(out, trace.EProfEntry{
+			PCBucket: uint32(e.key >> 16),
+			Mode:     trace.Mode(e.key & 0xff),
+			ASID:     uint8(e.key >> 8),
+			Cycles:   e.cycles,
+			Insts:    e.insts,
+			EnergyPJ: e.energyPJ,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.PCBucket != b.PCBucket {
+			return a.PCBucket < b.PCBucket
+		}
+		if a.Mode != b.Mode {
+			return a.Mode < b.Mode
+		}
+		return a.ASID < b.ASID
+	})
+	return out
+}

@@ -1,0 +1,133 @@
+package eprof
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"softwatt/internal/trace"
+)
+
+// coeffs returns distinguishable per-unit coefficients so a wrong unit's
+// energy can't masquerade as the right one.
+func coeffs() (unitPJ [trace.NumUnits]float64, cyclePJ float64) {
+	for u := range unitPJ {
+		unitPJ[u] = float64(u+1) * 1.25
+	}
+	return unitPJ, 0.5
+}
+
+// expectPJ computes a bucket's picojoules by the same linear contract the
+// profiler claims.
+func expectPJ(b *trace.Bucket, unitPJ [trace.NumUnits]float64, cyclePJ float64) float64 {
+	pj := float64(b.Cycles) * cyclePJ
+	for u, n := range b.Units {
+		pj += float64(n) * unitPJ[u]
+	}
+	return pj
+}
+
+func TestChargeFoldsByKey(t *testing.T) {
+	unitPJ, cyclePJ := coeffs()
+	p := New(DefaultShift, unitPJ, cyclePJ)
+
+	var b trace.Bucket
+	b.Cycles, b.Insts = 100, 40
+	b.Units[0], b.Units[trace.NumUnits-1] = 7, 3
+
+	p.Charge(0x8000, trace.ModeKernel, 2, &b)
+	p.Charge(0x8000, trace.ModeKernel, 2, &b) // same key: folds
+	p.Charge(0x8000, trace.ModeUser, 2, &b)   // mode splits the key
+	p.Charge(0x8000, trace.ModeKernel, 3, &b) // asid splits the key
+	p.Charge(0x8001, trace.ModeKernel, 2, &b) // bucket splits the key
+
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 distinct keys", p.Len())
+	}
+	es := p.Entries()
+	if len(es) != 4 {
+		t.Fatalf("Entries = %d, want 4", len(es))
+	}
+	if !sort.SliceIsSorted(es, func(i, j int) bool {
+		a, b := &es[i], &es[j]
+		if a.PCBucket != b.PCBucket {
+			return a.PCBucket < b.PCBucket
+		}
+		if a.Mode != b.Mode {
+			return a.Mode < b.Mode
+		}
+		return a.ASID < b.ASID
+	}) {
+		t.Fatalf("entries not sorted: %+v", es)
+	}
+	want := expectPJ(&b, unitPJ, cyclePJ)
+	for _, e := range es {
+		n := 1.0
+		if e.PCBucket == 0x8000 && e.Mode == trace.ModeKernel && e.ASID == 2 {
+			n = 2
+		}
+		if e.Cycles != uint64(100*n) || e.Insts != uint64(40*n) {
+			t.Errorf("entry %+v: cycles/insts not folded", e)
+		}
+		if math.Abs(e.EnergyPJ-want*n) > 1e-9*want*n {
+			t.Errorf("entry %+v: energy %g, want %g", e, e.EnergyPJ, want*n)
+		}
+	}
+}
+
+// TestGrowPreservesTotals pushes far past the initial capacity (1<<10
+// slots, grow at 3/4 load) and checks no charge is lost or duplicated
+// across rehashes.
+func TestGrowPreservesTotals(t *testing.T) {
+	unitPJ, cyclePJ := coeffs()
+	p := New(DefaultShift, unitPJ, cyclePJ)
+	rng := rand.New(rand.NewSource(42))
+
+	const keys = 10_000
+	var wantCycles, wantInsts uint64
+	var wantPJ float64
+	for i := 0; i < keys; i++ {
+		var b trace.Bucket
+		b.Cycles = uint64(rng.Intn(1000) + 1)
+		b.Insts = uint64(rng.Intn(500))
+		b.Units[rng.Intn(int(trace.NumUnits))] = uint64(rng.Intn(100))
+		p.Charge(uint32(i), trace.Mode(i%int(trace.NumModes)), uint8(i%7), &b)
+		wantCycles += b.Cycles
+		wantInsts += b.Insts
+		wantPJ += expectPJ(&b, unitPJ, cyclePJ)
+	}
+	if p.Len() != keys {
+		t.Fatalf("Len = %d, want %d", p.Len(), keys)
+	}
+	var gotCycles, gotInsts uint64
+	var gotPJ float64
+	for _, e := range p.Entries() {
+		gotCycles += e.Cycles
+		gotInsts += e.Insts
+		gotPJ += e.EnergyPJ
+	}
+	if gotCycles != wantCycles || gotInsts != wantInsts {
+		t.Fatalf("totals after grow: cycles %d/%d insts %d/%d",
+			gotCycles, wantCycles, gotInsts, wantInsts)
+	}
+	if math.Abs(gotPJ-wantPJ) > 1e-6 {
+		t.Fatalf("energy after grow: %g, want %g", gotPJ, wantPJ)
+	}
+}
+
+// TestChargeZeroAlloc pins the hot-path contract: charging an existing key
+// performs no allocation (growth happens only on new-key inserts).
+func TestChargeZeroAlloc(t *testing.T) {
+	unitPJ, cyclePJ := coeffs()
+	p := New(DefaultShift, unitPJ, cyclePJ)
+	var b trace.Bucket
+	b.Cycles, b.Units[0] = 10, 4
+	p.Charge(1, trace.ModeUser, 0, &b)
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Charge(1, trace.ModeUser, 0, &b)
+	})
+	if allocs != 0 {
+		t.Fatalf("Charge allocates %v times per op, want 0", allocs)
+	}
+}

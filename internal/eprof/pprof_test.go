@@ -1,0 +1,187 @@
+package eprof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"testing"
+
+	"softwatt/internal/trace"
+)
+
+// miniProto is a minimal protobuf wire-format scanner: enough to verify
+// the emitted profile's structure without depending on the pprof proto
+// package (CI additionally validates with `go tool pprof -top`).
+type miniProto struct{ b []byte }
+
+func (m *miniProto) varint() (uint64, error) {
+	var v uint64
+	for shift := 0; ; shift += 7 {
+		if len(m.b) == 0 || shift > 63 {
+			return 0, fmt.Errorf("truncated varint")
+		}
+		c := m.b[0]
+		m.b = m.b[1:]
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+	}
+}
+
+// fields walks one message level, returning (field, wire-0 value) for
+// varint fields and (field, bytes) for length-delimited fields.
+func (m *miniProto) fields(onVarint func(field int, v uint64), onBytes func(field int, b []byte)) error {
+	for len(m.b) > 0 {
+		key, err := m.varint()
+		if err != nil {
+			return err
+		}
+		field, wire := int(key>>3), key&7
+		switch wire {
+		case 0:
+			v, err := m.varint()
+			if err != nil {
+				return err
+			}
+			onVarint(field, v)
+		case 2:
+			n, err := m.varint()
+			if err != nil {
+				return err
+			}
+			if uint64(len(m.b)) < n {
+				return fmt.Errorf("truncated bytes field %d", field)
+			}
+			onBytes(field, m.b[:n])
+			m.b = m.b[n:]
+		default:
+			return fmt.Errorf("unexpected wire type %d for field %d", wire, field)
+		}
+	}
+	return nil
+}
+
+func TestWriteProfileStructure(t *testing.T) {
+	entries := []trace.EProfEntry{
+		{PCBucket: 0x10005, Mode: trace.ModeUser, ASID: 1, Cycles: 100, Insts: 40, EnergyPJ: 1234.6},
+		{PCBucket: 0x10005, Mode: trace.ModeKernel, ASID: 1, Cycles: 50, Insts: 20, EnergyPJ: 500},
+		{PCBucket: 0x20000, Mode: trace.ModeIdle, ASID: 0, Cycles: 900, Insts: 1, EnergyPJ: 9e6},
+	}
+	sym := func(addr uint32) string {
+		if addr>>DefaultShift == 0x20000 {
+			return "idle_loop"
+		}
+		return ""
+	}
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, entries, DefaultShift, sym); err != nil {
+		t.Fatal(err)
+	}
+
+	gr, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatalf("profile is not gzipped: %v", err)
+	}
+	raw, err := io.ReadAll(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sampleTypes, samples, mappings, locations, functions [][]byte
+	var strings []string
+	var defaultType uint64
+	m := &miniProto{b: raw}
+	err = m.fields(
+		func(field int, v uint64) {
+			if field == 14 {
+				defaultType = v
+			}
+		},
+		func(field int, b []byte) {
+			switch field {
+			case 1:
+				sampleTypes = append(sampleTypes, b)
+			case 2:
+				samples = append(samples, b)
+			case 3:
+				mappings = append(mappings, b)
+			case 4:
+				locations = append(locations, b)
+			case 5:
+				functions = append(functions, b)
+			case 6:
+				strings = append(strings, string(b))
+			}
+		})
+	if err != nil {
+		t.Fatalf("profile does not parse as protobuf: %v", err)
+	}
+
+	if len(sampleTypes) != 3 {
+		t.Errorf("sample types = %d, want 3 (cycles, instructions, energy)", len(sampleTypes))
+	}
+	if len(samples) != len(entries) {
+		t.Errorf("samples = %d, want %d", len(samples), len(entries))
+	}
+	if len(mappings) != 1 {
+		t.Errorf("mappings = %d, want 1", len(mappings))
+	}
+	if len(locations) != 2 {
+		t.Errorf("locations = %d, want 2 distinct PC buckets", len(locations))
+	}
+	if len(functions) != 1 {
+		t.Errorf("functions = %d, want 1 (only idle_loop symbolizes)", len(functions))
+	}
+	if len(strings) == 0 || strings[0] != "" {
+		t.Fatalf("string table must start with the empty string: %q", strings)
+	}
+	if int(defaultType) >= len(strings) || strings[defaultType] != "energy" {
+		t.Errorf("default_sample_type %d does not name energy in %q", defaultType, strings)
+	}
+	found := map[string]bool{}
+	for _, s := range strings {
+		found[s] = true
+	}
+	for _, want := range []string{"cycles", "instructions", "energy", "picojoules", "[guest]", "idle_loop", "mode", "asid", "user", "kernel", "idle"} {
+		if !found[want] {
+			t.Errorf("string table missing %q", want)
+		}
+	}
+
+	// The first sample's values decode to (cycles, insts, round(energy)).
+	var vals []uint64
+	sm := &miniProto{b: samples[0]}
+	err = sm.fields(func(int, uint64) {}, func(field int, b []byte) {
+		if field == 2 {
+			vm := &miniProto{b: b}
+			for len(vm.b) > 0 {
+				v, err := vm.varint()
+				if err != nil {
+					t.Fatal(err)
+				}
+				vals = append(vals, v)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[0] != 100 || vals[1] != 40 || vals[2] != 1235 {
+		t.Errorf("first sample values = %v, want [100 40 1235]", vals)
+	}
+
+	// Byte-stable output: same entries, same bytes.
+	var buf2 bytes.Buffer
+	if err := WriteProfile(&buf2, entries, DefaultShift, sym); err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	if err := WriteProfile(&first, entries, DefaultShift, sym); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), buf2.Bytes()) {
+		t.Error("profile output is not deterministic")
+	}
+}

@@ -32,11 +32,14 @@ import (
 
 // fingerprint identifies the machine configuration a checkpoint belongs
 // to, excluding the core kind (cross-core restore is the point of sampled
-// simulation) and the run-away bound (a run limit, not machine state).
+// simulation), the run-away bound (a run limit, not machine state), and
+// the timeline interval (pure observation: results are bit-identical with
+// it on or off, so toggling it must not invalidate checkpoints).
 func (m *Machine) fingerprint() string {
 	cfg := m.cfg
 	cfg.Core = 0
 	cfg.MaxCycles = 0
+	cfg.TimelineCycles = 0
 	return fmt.Sprintf("%+v", cfg)
 }
 
@@ -204,6 +207,16 @@ func (m *Machine) RestoreState(data []byte) error {
 	}
 	if r.Remaining() != 0 {
 		return fmt.Errorf("machine: %d trailing bytes after checkpoint", r.Remaining())
+	}
+
+	// Timeline and energy-profiler state are observational and not part of
+	// the checkpoint (DESIGN.md §15): a restored run records from the
+	// restore point onward.
+	m.timeline = nil
+	m.tlIdx = len(m.col.Samples())
+	m.tlStart = m.cycle
+	if m.cfg.TimelineCycles > 0 {
+		m.tlNext = m.cycle + m.cfg.TimelineCycles
 	}
 	return r.Err()
 }

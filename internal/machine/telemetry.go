@@ -88,13 +88,13 @@ func newTelemetry() *telemetry {
 	r := obs.Default()
 	t := &telemetry{sim: obs.Sim()}
 	for i, lv := range cacheLevels {
-		lbl := `cache="` + lv + `"`
+		lbl := obs.Label("cache", lv)
 		t.cacheHits[i] = r.Counter("softwatt_cache_hits_total", "Simulated cache hits.", lbl)
 		t.cacheMisses[i] = r.Counter("softwatt_cache_misses_total", "Simulated cache misses.", lbl)
 		t.cacheWB[i] = r.Counter("softwatt_cache_writebacks_total", "Simulated cache writebacks.", lbl)
 	}
 	for i, side := range [2]string{"i", "d"} {
-		lbl := `side="` + side + `"`
+		lbl := obs.Label("side", side)
 		t.utlbHits[i] = r.Counter("softwatt_microtlb_hits_total",
 			"Host micro-TLB hits (translation fast path).", lbl)
 		t.utlbMisses[i] = r.Counter("softwatt_microtlb_misses_total",
@@ -105,7 +105,7 @@ func newTelemetry() *telemetry {
 	for m := trace.Mode(0); m < trace.NumModes; m++ {
 		t.modeCycles[m] = r.Counter("softwatt_mode_cycles_total",
 			"Simulated cycles attributed per software mode (from flushed sample windows).",
-			`mode="`+m.String()+`"`)
+			obs.Label("mode", m.String()))
 	}
 	t.mispredicts = r.Counter("softwatt_bpred_mispredicts_total", "Branch mispredictions (MXS).", "")
 	t.coreFlushes = r.Counter("softwatt_core_flushes_total", "Serializing/exception pipeline flushes (MXS).", "")
@@ -134,7 +134,7 @@ func newTelemetry() *telemetry {
 	t.diskStateCy = make([]*obs.Counter, disk.NumStates)
 	for i := range t.diskStateCy {
 		t.diskStateCy[i] = r.Counter("softwatt_disk_state_cycles_total",
-			"Cycles the disk spent in each power mode.", `state="`+disk.State(i).String()+`"`)
+			"Cycles the disk spent in each power mode.", obs.Label("state", disk.State(i).String()))
 	}
 	return t
 }

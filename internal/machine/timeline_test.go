@@ -1,0 +1,145 @@
+package machine
+
+import (
+	"testing"
+
+	"softwatt/internal/trace"
+)
+
+// TestTimelinePartitionsRun pins the timeline's structural contract: the
+// configured interval rounds up to a whole number of sample windows, and
+// the recorded points partition [0, halt cycle] exactly — contiguous,
+// non-empty, every interior point a full interval, only the last allowed
+// to be partial.
+func TestTimelinePartitionsRun(t *testing.T) {
+	w := buildWorkload(t, "hello", helloSrc, nil)
+	cfg := testConfig(CoreMipsy)
+	cfg.TimelineCycles = 30_001 // deliberately not a window multiple
+	m, err := New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := m.Collector().WindowCycles
+	got := m.Config().TimelineCycles
+	if got%win != 0 || got < 30_001 || got-win >= 30_001 {
+		t.Fatalf("TimelineCycles %d not rounded up to a window multiple of %d", got, win)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	m.Collector().Finish()
+	tl := m.FinishTimeline()
+	if len(tl) == 0 {
+		t.Fatal("no timeline points recorded")
+	}
+	prev := uint64(0)
+	for i, p := range tl {
+		if p.Start != prev {
+			t.Fatalf("point %d starts at %d, previous ended at %d", i, p.Start, prev)
+		}
+		if p.End <= p.Start {
+			t.Fatalf("point %d is empty: [%d, %d)", i, p.Start, p.End)
+		}
+		if i < len(tl)-1 && p.End-p.Start != got {
+			t.Fatalf("interior point %d spans %d cycles, want %d", i, p.End-p.Start, got)
+		}
+		prev = p.End
+	}
+	if prev != m.Cycle() {
+		t.Fatalf("timeline ends at %d, run halted at %d", prev, m.Cycle())
+	}
+}
+
+// TestTimelineDoesNotPerturbResults is the machine-level half of the
+// byte-identity acceptance criterion: the same workload with the timeline
+// on and off must produce identical architected results.
+func TestTimelineDoesNotPerturbResults(t *testing.T) {
+	run := func(interval uint64) (*Machine, [trace.NumModes]trace.Bucket) {
+		w := buildWorkload(t, "hello", helloSrc, nil)
+		cfg := testConfig(CoreMipsy)
+		cfg.TimelineCycles = interval
+		m, err := New(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		m.Collector().Finish()
+		return m, m.Collector().ModeTotals()
+	}
+	off, offTotals := run(0)
+	on, onTotals := run(25_000)
+
+	if off.Cycle() != on.Cycle() {
+		t.Errorf("cycles diverge: %d without timeline, %d with", off.Cycle(), on.Cycle())
+	}
+	if off.Console() != on.Console() {
+		t.Errorf("console output diverges")
+	}
+	if offTotals != onTotals {
+		t.Errorf("per-mode activity totals diverge with the timeline enabled")
+	}
+	if got := off.FinishTimeline(); got != nil {
+		t.Errorf("disabled timeline returned %d points, want nil", len(got))
+	}
+}
+
+// TestTimelineAcrossRestore checks that restoring a checkpoint resets the
+// timeline bookkeeping: the restored machine records points from the
+// restore cycle forward, partitioning [restore, halt] without replaying or
+// double-counting the pre-checkpoint interval.
+func TestTimelineAcrossRestore(t *testing.T) {
+	const spinSrc = `
+        .org 0x00400000
+_start:
+        li   t0, 200000
+loop:   addiu t0, t0, -1
+        bne  t0, zero, loop
+        li   a0, 0
+        li   v0, 1
+        syscall
+`
+	w := buildWorkload(t, "spin", spinSrc, nil)
+	cfg := testConfig(CoreMipsy)
+	cfg.TimelineCycles = 25_000
+	m, err := New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StepCycles(60_000)
+	if m.Halted() {
+		t.Fatal("workload halted before the checkpoint; lower the step count")
+	}
+	ck := m.Checkpoint()
+	at := m.Cycle()
+
+	m2, err := New(cfg, buildWorkload(t, "hello", helloSrc, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.RestoreState(ck); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	m2.Collector().Finish()
+	tl := m2.FinishTimeline()
+	if len(tl) == 0 {
+		t.Fatal("restored machine recorded no timeline points")
+	}
+	if tl[0].Start != at {
+		t.Fatalf("first post-restore point starts at %d, restored at cycle %d", tl[0].Start, at)
+	}
+	prev := at
+	for i, p := range tl {
+		if p.Start != prev {
+			t.Fatalf("point %d starts at %d, previous ended at %d", i, p.Start, prev)
+		}
+		prev = p.End
+	}
+	if prev != m2.Cycle() {
+		t.Fatalf("timeline ends at %d, run halted at %d", prev, m2.Cycle())
+	}
+}

@@ -27,8 +27,10 @@ func TestServeMetrics(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /metrics = %d", resp.StatusCode)
 	}
-	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
-		t.Errorf("content type %q", ct)
+	// Strict scrapers negotiate on the exposition version; the header must
+	// carry it verbatim.
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content type %q, want text/plain; version=0.0.4; charset=utf-8", ct)
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {

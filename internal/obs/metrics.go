@@ -108,11 +108,17 @@ func (h *Histogram) Quantile(q float64) float64 {
 		lo := bound
 		bound = h.bounds[i]
 		n := float64(h.counts[i].Load())
+		if n == 0 {
+			// Empty buckets never hold the estimate: skipping them keeps
+			// degenerate ranks (q=0, or a rank landing exactly on a bucket
+			// edge) inside a bucket that actually has observations.
+			continue
+		}
 		if cum+n >= rank {
-			if n == 0 {
-				return bound
-			}
 			frac := (rank - cum) / n
+			if frac < 0 {
+				frac = 0
+			}
 			return lo + frac*(bound-lo)
 		}
 		cum += n
@@ -238,8 +244,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
 	for _, s := range snaps {
 		f := s.fam
-		if f.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		// Every family gets HELP and TYPE: strict scrapers (and promtool
+		// check) treat a bare series line under no TYPE as untyped and may
+		// reject mixed exposition.
+		if f.help == "" {
+			fmt.Fprintf(&b, "# HELP %s\n", f.name)
+		} else {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
 		for _, l := range s.labels {
@@ -279,6 +290,24 @@ func renderLabels(labels, extra string) string {
 	}
 	return "{" + labels + "," + extra + "}"
 }
+
+// escapeHelp escapes a HELP docstring per the text exposition format:
+// backslash and newline are the only characters with escapes there.
+func escapeHelp(s string) string {
+	return helpEscaper.Replace(s)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// Label renders one k="v" label pair with the value escaped per the text
+// exposition format (backslash, double-quote, newline). Call sites whose
+// label values are dynamic — benchmark names, file paths — must build
+// their label strings through this; join multiple pairs with commas.
+func Label(k, v string) string {
+	return k + `="` + labelEscaper.Replace(v) + `"`
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 
 // formatFloat renders a float in the shortest round-trip form, matching the
 // Prometheus convention of plain decimal/exponent notation.

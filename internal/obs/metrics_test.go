@@ -92,6 +92,50 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges covers the degenerate shapes: a single
+// sample, all observations equal, out-of-range q, and a boundless
+// histogram.
+func TestHistogramQuantileEdges(t *testing.T) {
+	// Single sample: every quantile must land in its bucket.
+	h := newHistogram([]float64{1, 2, 4})
+	h.Observe(1.5)
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 1.0 || got > 2.0 {
+			t.Errorf("single-sample q%g = %g, want within (1,2]", q, got)
+		}
+	}
+
+	// All observations equal: the estimate stays inside the one occupied
+	// bucket regardless of q.
+	he := newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		he.Observe(3)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		got := he.Quantile(q)
+		if got <= 2.0 || got > 4.0 {
+			t.Errorf("all-equal q%g = %g, want within (2,4]", q, got)
+		}
+	}
+
+	// q outside [0,1] clamps instead of extrapolating.
+	if got := he.Quantile(-3); got < 2.0 || got > 4.0 {
+		t.Errorf("q<0 = %g, want clamped into the occupied bucket", got)
+	}
+	if got, want := he.Quantile(7), he.Quantile(1); got != want {
+		t.Errorf("q>1 = %g, want %g (clamp to q=1)", got, want)
+	}
+
+	// No bounds at all: everything is in +Inf, with no finite bound to
+	// clamp to the estimate is undefined.
+	hb := newHistogram(nil)
+	hb.Observe(5)
+	if got := hb.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("boundless quantile = %g, want NaN", got)
+	}
+}
+
 // TestWritePrometheus pins the text exposition format: HELP/TYPE headers,
 // sorted families and series, histogram cumulative buckets with the
 // trailing +Inf, and _sum/_count.
@@ -126,6 +170,78 @@ c_seconds_count 3
 `
 	if sb.String() != want {
 		t.Fatalf("exposition format drifted:\n got:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestExpositionConformance walks the scrape the way a strict parser
+// (promtool check metrics) does: every sample line must belong to a
+// family whose # HELP and # TYPE were already emitted, label values with
+// quotes/backslashes/newlines must arrive escaped, and a family
+// registered without help still gets its HELP line.
+func TestExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "Count of \\ weird\nthings.", Label("path", `C:\tmp
+"x"`)).Inc()
+	r.Gauge("nohelp_gauge", "", "").Set(1)
+	r.Histogram("lat_seconds", "Latency.", Label("op", "read"), []float64{1}).Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	helped, typed := map[string]bool{}, map[string]bool{}
+	for ln, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", ln)
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, _ := strings.Cut(rest, " ")
+			if strings.Contains(help, "\n") {
+				t.Errorf("HELP for %s contains a raw newline", name)
+			}
+			helped[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, _ := strings.Cut(rest, " ")
+			if !helped[name] {
+				t.Errorf("TYPE before HELP for %s", name)
+			}
+			if typed[name] {
+				t.Errorf("duplicate TYPE for %s", name)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Errorf("TYPE %s has unknown kind %q", name, kind)
+			}
+			typed[name] = true
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if fam := strings.TrimSuffix(name, suf); fam != name && typed[fam] {
+				base = fam
+			}
+		}
+		if !helped[base] || !typed[base] {
+			t.Errorf("line %d: series %s has no preceding HELP/TYPE: %q", ln, name, line)
+		}
+	}
+	if !helped["nohelp_gauge"] {
+		t.Error("family registered without help text is missing its HELP line")
+	}
+	if want := `esc_total{path="C:\\tmp\n\"x\""} 1`; !strings.Contains(out, want) {
+		t.Errorf("escaped label series missing; want %q in:\n%s", want, out)
+	}
+	if strings.Contains(out, "HELP esc_total Count of \\ weird\nthings") {
+		t.Error("help docstring emitted with raw backslash/newline")
 	}
 }
 

@@ -10,6 +10,12 @@ package obs
 // zero Span (no tracer installed) no-ops without allocating. Events are
 // buffered in memory — a full sweep emits a few thousand spans, far below
 // any interesting memory bound — and serialized once at exit.
+//
+// Open spans are tracked in a registry so WriteJSON can flush them as
+// truncated-but-valid complete events: a run interrupted by ^C or an error
+// exit (prof.Exit runs the exit hooks, which write the trace) still
+// produces a file Perfetto loads, with the in-flight spans extending to
+// the moment of death and marked truncated.
 
 import (
 	"encoding/json"
@@ -21,23 +27,34 @@ import (
 )
 
 // TraceEvent is one Chrome trace-event object. Exported fields mirror the
-// JSON schema: ph "X" is a complete span (ts+dur), "i" an instant, "M"
-// metadata (thread/process names).
+// JSON schema: ph "X" is a complete span (ts+dur), "i" an instant, "C" a
+// counter sample (args values plot as counter tracks), "M" metadata
+// (thread/process names). Args values may be strings or numbers.
 type TraceEvent struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat,omitempty"`
-	Ph   string            `json:"ph"`
-	TS   int64             `json:"ts"` // microseconds since trace start
-	Dur  int64             `json:"dur,omitempty"`
-	PID  int64             `json:"pid"`
-	TID  int64             `json:"tid"`
-	Args map[string]string `json:"args,omitempty"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"` // microseconds since trace start
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // traceFile is the on-disk JSON object format.
 type traceFile struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 	TraceEvents     []TraceEvent `json:"traceEvents"`
+}
+
+// openSpan is the tracer-side record of an in-flight span. Span holds a
+// pointer to it so WriteJSON can flush spans that never reached End.
+type openSpan struct {
+	tid   int64
+	start int64
+	name  string
+	cat   string
+	args  map[string]any
 }
 
 // Tracer buffers trace events. Safe for concurrent use.
@@ -47,11 +64,16 @@ type Tracer struct {
 	mu      sync.Mutex
 	events  []TraceEvent
 	threads map[int64]string
+	open    map[*openSpan]struct{}
 }
 
 // NewTracer creates a tracer; its clock starts now.
 func NewTracer() *Tracer {
-	return &Tracer{start: time.Now(), threads: make(map[int64]string)}
+	return &Tracer{
+		start:   time.Now(),
+		threads: make(map[int64]string),
+		open:    make(map[*openSpan]struct{}),
+	}
 }
 
 // now returns microseconds since the trace started.
@@ -68,7 +90,7 @@ func (t *Tracer) SetThreadName(tid int64, name string) {
 }
 
 // Instant records a zero-duration marker on a track.
-func (t *Tracer) Instant(tid int64, name string, args map[string]string) {
+func (t *Tracer) Instant(tid int64, name string, args map[string]any) {
 	if t == nil {
 		return
 	}
@@ -78,8 +100,24 @@ func (t *Tracer) Instant(tid int64, name string, args map[string]string) {
 	t.mu.Unlock()
 }
 
+// Counter records one sample of a named counter series on a track. Values
+// render as a counter track in Perfetto ("C" phase); call it with the same
+// name over time to build the series (the live power timeline does).
+func (t *Tracer) Counter(tid int64, name string, value float64) {
+	if t == nil {
+		return
+	}
+	ev := TraceEvent{
+		Name: name, Ph: "C", TS: t.now(), TID: tid,
+		Args: map[string]any{"value": value},
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
 // complete appends one finished span.
-func (t *Tracer) complete(tid int64, name, cat string, startUS, durUS int64, args map[string]string) {
+func (t *Tracer) complete(tid int64, name, cat string, startUS, durUS int64, args map[string]any) {
 	ev := TraceEvent{Name: name, Cat: cat, Ph: "X", TS: startUS, Dur: durUS, TID: tid, Args: args}
 	t.mu.Lock()
 	t.events = append(t.events, ev)
@@ -87,6 +125,7 @@ func (t *Tracer) complete(tid int64, name, cat string, startUS, durUS int64, arg
 }
 
 // Events returns a snapshot of the buffered events (tests, reporting).
+// Open spans are not included; see WriteJSON.
 func (t *Tracer) Events() []TraceEvent {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -98,11 +137,16 @@ func (t *Tracer) Events() []TraceEvent {
 // WriteJSON serializes the trace as a Chrome trace-event JSON object.
 // Metadata (process and thread names) is emitted first, then the spans in
 // start order; viewers accept any order, stable output just diffs better.
+// Spans still open — a run interrupted mid-pipeline — are emitted as
+// complete events running to the present moment with a "truncated" arg, so
+// the file stays loadable instead of losing the spans that explain what
+// the process was doing when it died.
 func (t *Tracer) WriteJSON(w io.Writer) error {
+	now := t.now()
 	t.mu.Lock()
-	events := make([]TraceEvent, 0, len(t.events)+len(t.threads)+1)
+	events := make([]TraceEvent, 0, len(t.events)+len(t.open)+len(t.threads)+1)
 	events = append(events, TraceEvent{
-		Name: "process_name", Ph: "M", Args: map[string]string{"name": "softwatt"},
+		Name: "process_name", Ph: "M", Args: map[string]any{"name": "softwatt"},
 	})
 	tids := make([]int64, 0, len(t.threads))
 	for tid := range t.threads {
@@ -112,11 +156,22 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	for _, tid := range tids {
 		events = append(events, TraceEvent{
 			Name: "thread_name", Ph: "M", TID: tid,
-			Args: map[string]string{"name": t.threads[tid]},
+			Args: map[string]any{"name": t.threads[tid]},
 		})
 	}
-	spans := make([]TraceEvent, len(t.events))
+	spans := make([]TraceEvent, len(t.events), len(t.events)+len(t.open))
 	copy(spans, t.events)
+	for os := range t.open {
+		args := make(map[string]any, len(os.args)+1)
+		for k, v := range os.args {
+			args[k] = v
+		}
+		args["truncated"] = "true"
+		spans = append(spans, TraceEvent{
+			Name: os.name, Cat: os.cat, Ph: "X",
+			TS: os.start, Dur: now - os.start, TID: os.tid, Args: args,
+		})
+	}
 	t.mu.Unlock()
 
 	sort.SliceStable(spans, func(a, b int) bool { return spans[a].TS < spans[b].TS })
@@ -138,12 +193,8 @@ func ActiveTracer() *Tracer { return global.Load() }
 // tracer is installed) no-ops on every method, so instrumented code needs
 // no enabled-checks of its own.
 type Span struct {
-	t     *Tracer
-	tid   int64
-	start int64
-	name  string
-	cat   string
-	args  map[string]string
+	t   *Tracer
+	rec *openSpan
 }
 
 // StartSpan opens a span on track tid. When no tracer is installed the
@@ -153,7 +204,11 @@ func StartSpan(tid int64, name, cat string) Span {
 	if t == nil {
 		return Span{}
 	}
-	return Span{t: t, tid: tid, start: t.now(), name: name, cat: cat}
+	rec := &openSpan{tid: tid, start: t.now(), name: name, cat: cat}
+	t.mu.Lock()
+	t.open[rec] = struct{}{}
+	t.mu.Unlock()
+	return Span{t: t, rec: rec}
 }
 
 // Arg attaches a key/value argument to the span (shown in the Perfetto
@@ -162,10 +217,12 @@ func (s *Span) Arg(k, v string) {
 	if s.t == nil {
 		return
 	}
-	if s.args == nil {
-		s.args = make(map[string]string, 4)
+	s.t.mu.Lock()
+	if s.rec.args == nil {
+		s.rec.args = make(map[string]any, 4)
 	}
-	s.args[k] = v
+	s.rec.args[k] = v
+	s.t.mu.Unlock()
 }
 
 // End closes the span and records it.
@@ -174,6 +231,9 @@ func (s *Span) End() {
 		return
 	}
 	end := s.t.now()
-	s.t.complete(s.tid, s.name, s.cat, s.start, end-s.start, s.args)
+	s.t.mu.Lock()
+	delete(s.t.open, s.rec)
+	s.t.mu.Unlock()
+	s.t.complete(s.rec.tid, s.rec.name, s.rec.cat, s.rec.start, end-s.rec.start, s.rec.args)
 	s.t = nil
 }

@@ -64,6 +64,109 @@ func TestTraceJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestInterruptedTraceIsValid reproduces a ^C mid-run: a span is still
+// open when the exit hook serializes the trace. The file must parse as
+// JSON and contain the open span as a complete event marked truncated —
+// before the open-span registry the span was silently dropped and the
+// trace lost exactly the work in flight when the process died.
+func TestInterruptedTraceIsValid(t *testing.T) {
+	tr := NewTracer()
+	SetTracer(tr)
+	defer SetTracer(nil)
+
+	done := StartSpan(1, "boot kernel", "boot")
+	done.End()
+	open := StartSpan(1, "simulate jess", "simulate")
+	open.Arg("core", "mxs")
+	_ = open // never ended: process dies here
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("interrupted trace does not parse: %v", err)
+	}
+	var flushed *TraceEvent
+	for i := range file.TraceEvents {
+		if file.TraceEvents[i].Name == "simulate jess" {
+			flushed = &file.TraceEvents[i]
+		}
+	}
+	if flushed == nil {
+		t.Fatalf("open span missing from interrupted trace: %+v", file.TraceEvents)
+	}
+	if flushed.Ph != "X" || flushed.Dur < 0 {
+		t.Errorf("open span not flushed as a complete event: %+v", flushed)
+	}
+	if flushed.Args["truncated"] != "true" || flushed.Args["core"] != "mxs" {
+		t.Errorf("flushed span args = %v, want truncated=true and core=mxs", flushed.Args)
+	}
+	// Finishing the span afterwards must not double it in a later write.
+	open.End()
+	buf.Reset()
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file2 struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file2); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for i := range file2.TraceEvents {
+		if file2.TraceEvents[i].Name == "simulate jess" {
+			n++
+			if file2.TraceEvents[i].Args["truncated"] != nil {
+				t.Errorf("completed span still marked truncated: %+v", file2.TraceEvents[i])
+			}
+		}
+	}
+	if n != 1 {
+		t.Errorf("span appears %d times after End, want 1", n)
+	}
+}
+
+// TestCounterEvents verifies counter samples serialize as "C" phase
+// events with a numeric value arg, the form Perfetto plots as a counter
+// track.
+func TestCounterEvents(t *testing.T) {
+	tr := NewTracer()
+	tr.Counter(2, "power W", 7.25)
+	tr.Counter(2, "power W", 6.5)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	var vals []float64
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "C" {
+			if ev.Name != "power W" || ev.TID != 2 {
+				t.Errorf("counter event fields drifted: %+v", ev)
+			}
+			v, ok := ev.Args["value"].(float64)
+			if !ok {
+				t.Fatalf("counter value is not numeric: %T", ev.Args["value"])
+			}
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) != 2 || vals[0] != 7.25 || vals[1] != 6.5 {
+		t.Errorf("counter samples = %v, want [7.25 6.5]", vals)
+	}
+}
+
 // TestInertSpan verifies the disabled path: with no tracer installed a
 // span is a no-op and performs zero allocations, so instrumented code
 // costs nothing when tracing is off.

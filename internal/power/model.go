@@ -163,6 +163,20 @@ func (m *Model) BucketEnergy(b *trace.Bucket) Breakdown {
 	return out
 }
 
+// EProfCoeffs flattens BucketEnergy into per-unit and per-cycle picojoule
+// coefficients for the energy profiler's hot charge path: because every
+// BucketEnergy term is linear in the bucket's counts, a bucket's total
+// energy in pJ is exactly Σ units[u]·unitPJ[u] + cycles·cyclePJ. unitPJ
+// folds the unit's access energy with the per-access clock latch energy;
+// cyclePJ carries the ungated clock base and DRAM background per cycle.
+func (m *Model) EProfCoeffs() (unitPJ [trace.NumUnits]float64, cyclePJ float64) {
+	for u := range unitPJ {
+		unitPJ[u] = (m.UnitJ[u] + m.Clock.LatchJ) * 1e12
+	}
+	cyclePJ = (m.Clock.BaseW + m.DRAMBackgroundW) / m.Tech.ClockHz * 1e12
+	return unitPJ, cyclePJ
+}
+
 // InvocationEnergy is the trace.EnergyFn used for per-invocation service
 // energy (Table 5): activity-proportional terms only (a service invocation
 // does not own wall-clock background power... it does own its cycles' share

@@ -76,6 +76,11 @@ func decodeWelford(r *ckpt.Reader) stats.WelfordState {
 // EncodeState serialises the collector's complete accumulation state.
 func (c *Collector) EncodeState(w *ckpt.Writer) {
 	c.drainPending() // batched units must land before the state is frozen
+	if c.ep != nil {
+		// Profiler state is not checkpointed (DESIGN.md §15); charging the
+		// pending batch now keeps the live sink's totals conserving.
+		c.epFlush()
+	}
 	w.U64(c.WindowCycles)
 	w.U8(uint8(c.mode))
 	w.U8(uint8(c.svc))
@@ -112,6 +117,9 @@ func (c *Collector) DecodeState(r *ckpt.Reader) {
 		return
 	}
 	c.mode = Mode(mode)
+	if c.ep == nil {
+		c.acc = &c.cur.Mode[c.mode]
+	}
 	svc := r.U8()
 	if svc >= uint8(NumSvc) {
 		r.Corrupt("collector svc %d out of range", svc)

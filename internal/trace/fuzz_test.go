@@ -46,6 +46,32 @@ func FuzzReadLog(f *testing.F) {
 	binary.Write(&lie, binary.LittleEndian, uint64(1)<<60)
 	f.Add(lie.Bytes())
 
+	// Seed: a v2 log guaranteed to carry TLIN and EPRF sections (randRecord
+	// includes them only probabilistically).
+	obsRec := randRecord(rng)
+	if len(obsRec.Timeline) == 0 {
+		obsRec.Timeline = []TimelinePoint{{Start: 0, End: 1 << 20, DiskJ: 0.25}}
+	}
+	if len(obsRec.EProf) == 0 {
+		obsRec.EProf = []EProfEntry{{PCBucket: 0x8000, Mode: ModeKernel, ASID: 3, Cycles: 100, Insts: 40, EnergyPJ: 5e6}}
+		obsRec.EProfShift = 6
+	}
+	var obsLog bytes.Buffer
+	if err := WriteRunRecord(&obsLog, obsRec); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(obsLog.Bytes())
+
+	// Seed: a TLIN section lying about its point count.
+	var tlie bytes.Buffer
+	binary.Write(&tlie, binary.LittleEndian, [2]uint32{logMagic, logVersion2})
+	tlie.Write(tagTlin[:])
+	binary.Write(&tlie, binary.LittleEndian, uint64(16))
+	binary.Write(&tlie, binary.LittleEndian, uint32(NumModes))
+	binary.Write(&tlie, binary.LittleEndian, uint32(NumUnits))
+	binary.Write(&tlie, binary.LittleEndian, uint64(1)<<60)
+	f.Add(tlie.Bytes())
+
 	// Seed: a v2 stream with a huge unknown tag/size pair, and garbage.
 	var junk bytes.Buffer
 	binary.Write(&junk, binary.LittleEndian, [2]uint32{logMagic, logVersion2})

@@ -40,6 +40,8 @@ var (
 	tagSvcs = [4]byte{'S', 'V', 'C', 'S'}
 	tagDisk = [4]byte{'D', 'I', 'S', 'K'}
 	tagSamp = [4]byte{'S', 'A', 'M', 'P'}
+	tagTlin = [4]byte{'T', 'L', 'I', 'N'}
+	tagEprf = [4]byte{'E', 'P', 'R', 'F'}
 	tagEnd  = [4]byte{'E', 'N', 'D', 0}
 )
 
@@ -98,6 +100,17 @@ type RunRecord struct {
 	Disk        DiskRecord
 
 	Samples []Sample
+
+	// Timeline holds the fixed-interval power-timeline points (TLIN
+	// section); empty when the run was recorded without -timeline. EProf
+	// holds the aggregated energy-profile rows (EPRF section), sorted by
+	// (PCBucket, Mode, ASID) for determinism, with EProfShift the PC
+	// bucket shift they were aggregated under; empty without -eprof.
+	// Both sections are written only when non-empty, so logs from plain
+	// runs stay byte-identical to pre-TLIN writers.
+	Timeline   []TimelinePoint
+	EProf      []EProfEntry
+	EProfShift uint32
 }
 
 // ---------------------------------------------------------------------------
@@ -147,6 +160,12 @@ func (s *sectionWriter) section(tag [4]byte, size uint64) {
 }
 
 const bucketBytes = int(NumUnits)*8 + 16
+
+// Serialized sizes of one TLIN point and one EPRF entry.
+const (
+	tlinPointBytes = 16 + int(NumModes)*bucketBytes + 8
+	eprfEntryBytes = 4 + 4 + 8 + 8 + 8
+)
 
 // WriteRunRecord serialises rec in the version-2 format.
 func WriteRunRecord(w io.Writer, rec *RunRecord) error {
@@ -221,6 +240,41 @@ func WriteRunRecord(w io.Writer, rec *RunRecord) error {
 			if err := writeSample(bw, &rec.Samples[i]); err != nil {
 				return err
 			}
+		}
+	}
+
+	// TLIN: the power-timeline points. Written only when present so plain
+	// runs keep producing byte-identical logs (the golden contract,
+	// DESIGN.md §9); old readers skip the unknown tag.
+	if len(rec.Timeline) > 0 {
+		s.section(tagTlin, uint64(16+len(rec.Timeline)*tlinPointBytes))
+		s.u32(uint32(NumModes))
+		s.u32(uint32(NumUnits))
+		s.u64(uint64(len(rec.Timeline)))
+		for i := range rec.Timeline {
+			p := &rec.Timeline[i]
+			s.u64(p.Start)
+			s.u64(p.End)
+			for m := range p.Mode {
+				s.bucket(&p.Mode[m])
+			}
+			s.f64(p.DiskJ)
+		}
+	}
+
+	// EPRF: the aggregated energy profile, sorted by key at collection
+	// time. Same written-only-when-present rule as TLIN.
+	if len(rec.EProf) > 0 {
+		s.section(tagEprf, uint64(12+len(rec.EProf)*eprfEntryBytes))
+		s.u32(rec.EProfShift)
+		s.u64(uint64(len(rec.EProf)))
+		for i := range rec.EProf {
+			e := &rec.EProf[i]
+			s.u32(e.PCBucket)
+			s.u32(uint32(e.Mode) | uint32(e.ASID)<<8)
+			s.u64(e.Cycles)
+			s.u64(e.Insts)
+			s.f64(e.EnergyPJ)
 		}
 	}
 
@@ -393,6 +447,10 @@ func readRecordSections(br *bufio.Reader) (*RunRecord, error) {
 			err = readDisk(&sectionReader{lr}, rec)
 		case tagSamp:
 			err = readSamp(&sectionReader{lr}, rec)
+		case tagTlin:
+			err = readTlin(&sectionReader{lr}, rec)
+		case tagEprf:
+			err = readEprf(&sectionReader{lr}, rec)
 		default:
 			// Unknown section from a newer writer: skip its payload.
 			if size > maxSkippedBytes {
@@ -555,4 +613,82 @@ func readSamp(s *sectionReader, rec *RunRecord) error {
 	}
 	rec.Samples, err = readSamples(s.r, int(count))
 	return err
+}
+
+func readTlin(s *sectionReader, rec *RunRecord) error {
+	if err := s.dims("modes", int(NumModes)); err != nil {
+		return err
+	}
+	count, err := s.u64()
+	if err != nil {
+		return err
+	}
+	// Same rule as SAMP: the section size bounds the point count before
+	// any count-sized allocation happens.
+	if avail := uint64(s.r.N) / uint64(tlinPointBytes); count > avail {
+		return fmt.Errorf("timeline point count %d exceeds section payload (%d available)", count, avail)
+	}
+	rec.Timeline = make([]TimelinePoint, count)
+	for i := range rec.Timeline {
+		p := &rec.Timeline[i]
+		if p.Start, err = s.u64(); err != nil {
+			return err
+		}
+		if p.End, err = s.u64(); err != nil {
+			return err
+		}
+		for m := range p.Mode {
+			if err := s.bucket(&p.Mode[m]); err != nil {
+				return err
+			}
+		}
+		if p.DiskJ, err = s.f64(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readEprf(s *sectionReader, rec *RunRecord) error {
+	shift, err := s.u32()
+	if err != nil {
+		return err
+	}
+	if shift > 31 {
+		return fmt.Errorf("eprof bucket shift %d out of range", shift)
+	}
+	count, err := s.u64()
+	if err != nil {
+		return err
+	}
+	if avail := uint64(s.r.N) / uint64(eprfEntryBytes); count > avail {
+		return fmt.Errorf("eprof entry count %d exceeds section payload (%d available)", count, avail)
+	}
+	rec.EProfShift = shift
+	rec.EProf = make([]EProfEntry, count)
+	for i := range rec.EProf {
+		e := &rec.EProf[i]
+		if e.PCBucket, err = s.u32(); err != nil {
+			return err
+		}
+		key, err := s.u32()
+		if err != nil {
+			return err
+		}
+		if key&0xff >= uint32(NumModes) {
+			return fmt.Errorf("eprof mode %d out of range", key&0xff)
+		}
+		e.Mode = Mode(key & 0xff)
+		e.ASID = uint8(key >> 8)
+		if e.Cycles, err = s.u64(); err != nil {
+			return err
+		}
+		if e.Insts, err = s.u64(); err != nil {
+			return err
+		}
+		if e.EnergyPJ, err = s.f64(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

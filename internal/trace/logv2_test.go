@@ -66,6 +66,30 @@ func randRecord(rng *rand.Rand) *RunRecord {
 		}
 		rec.Samples = append(rec.Samples, s)
 	}
+	// Timeline and energy-profile sections are optional (written only when
+	// non-empty); leave them absent sometimes so both shapes round-trip.
+	if rng.Intn(4) > 0 {
+		for i, n := 0, 1+rng.Intn(20); i < n; i++ {
+			p := TimelinePoint{Start: uint64(i) * 1e6, End: uint64(i+1) * 1e6, DiskJ: rng.Float64()}
+			for m := range p.Mode {
+				p.Mode[m] = rb()
+			}
+			rec.Timeline = append(rec.Timeline, p)
+		}
+	}
+	if rng.Intn(4) > 0 {
+		rec.EProfShift = uint32(rng.Intn(12))
+		for i, n := 0, 1+rng.Intn(30); i < n; i++ {
+			rec.EProf = append(rec.EProf, EProfEntry{
+				PCBucket: rng.Uint32() >> 8,
+				Mode:     Mode(rng.Intn(int(NumModes))),
+				ASID:     uint8(rng.Intn(256)),
+				Cycles:   rng.Uint64() >> 16,
+				Insts:    rng.Uint64() >> 16,
+				EnergyPJ: rng.Float64() * 1e9,
+			})
+		}
+	}
 	return rec
 }
 
@@ -183,6 +207,57 @@ func TestReadRunRecordHugeSampleCount(t *testing.T) {
 	binary.Write(&buf, binary.LittleEndian, uint64(1<<40)) // claimed samples
 	if _, err := ReadRunRecord(bytes.NewReader(buf.Bytes())); err == nil {
 		t.Fatal("lying sample count accepted")
+	}
+}
+
+// TestReadRunRecordLyingTlinCount: the TLIN section's point count is
+// validated against the section's actual payload size before allocation,
+// like SAMP's.
+func TestReadRunRecordLyingTlinCount(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, [2]uint32{logMagic, logVersion2})
+	buf.Write(tagTlin[:])
+	binary.Write(&buf, binary.LittleEndian, uint64(16)) // prefix only
+	binary.Write(&buf, binary.LittleEndian, uint32(NumModes))
+	binary.Write(&buf, binary.LittleEndian, uint32(NumUnits))
+	binary.Write(&buf, binary.LittleEndian, uint64(1<<40)) // claimed points
+	if _, err := ReadRunRecord(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("lying timeline count accepted")
+	}
+}
+
+// TestReadRunRecordBadEprf: the EPRF section rejects a lying entry count,
+// an out-of-range bucket shift, and an out-of-range mode byte.
+func TestReadRunRecordBadEprf(t *testing.T) {
+	mk := func(shift uint32, count uint64, body func(*bytes.Buffer)) []byte {
+		var buf bytes.Buffer
+		binary.Write(&buf, binary.LittleEndian, [2]uint32{logMagic, logVersion2})
+		var sec bytes.Buffer
+		binary.Write(&sec, binary.LittleEndian, shift)
+		binary.Write(&sec, binary.LittleEndian, count)
+		if body != nil {
+			body(&sec)
+		}
+		buf.Write(tagEprf[:])
+		binary.Write(&buf, binary.LittleEndian, uint64(sec.Len()))
+		buf.Write(sec.Bytes())
+		return buf.Bytes()
+	}
+	if _, err := ReadRunRecord(bytes.NewReader(mk(6, 1<<40, nil))); err == nil {
+		t.Fatal("lying eprof entry count accepted")
+	}
+	if _, err := ReadRunRecord(bytes.NewReader(mk(63, 0, nil))); err == nil {
+		t.Fatal("out-of-range bucket shift accepted")
+	}
+	badMode := mk(6, 1, func(sec *bytes.Buffer) {
+		binary.Write(sec, binary.LittleEndian, uint32(0x100))             // pc bucket
+		binary.Write(sec, binary.LittleEndian, uint32(NumModes)) // mode out of range
+		binary.Write(sec, binary.LittleEndian, uint64(1))
+		binary.Write(sec, binary.LittleEndian, uint64(1))
+		binary.Write(sec, binary.LittleEndian, 1.0)
+	})
+	if _, err := ReadRunRecord(bytes.NewReader(badMode)); err == nil {
+		t.Fatal("out-of-range mode accepted")
 	}
 }
 

@@ -131,6 +131,39 @@ type ServiceStats struct {
 // estimator so that the machine stays power-model-agnostic.
 type EnergyFn func(*Bucket) float64
 
+// EnergySink receives per-guest-code-region activity batches from the
+// collector. Implemented by internal/eprof; kept as an interface here so
+// trace does not import the profiler (or the power model behind it). The
+// collector calls Charge only at attribution boundaries — PC-bucket moves,
+// context switches, window flushes — never per cycle or per instruction.
+type EnergySink interface {
+	Charge(pcBucket uint32, mode Mode, asid uint8, b *Bucket)
+}
+
+// EProfEntry is one aggregated energy-profile row: all activity charged to
+// one (PC bucket, mode, ASID) key. PCBucket is the guest PC right-shifted
+// by the profile's bucket shift; EnergyPJ is the modeled energy in
+// picojoules. Serialized in the EPRF logv2 section.
+type EProfEntry struct {
+	PCBucket uint32
+	Mode     Mode
+	ASID     uint8
+	Cycles   uint64
+	Insts    uint64
+	EnergyPJ float64
+}
+
+// TimelinePoint is one fixed-interval power-timeline sample: the per-mode
+// activity that accrued in [Start, End) plus the cumulative disk energy in
+// joules at End. Watts are derived at render time by running the per-mode
+// buckets through the power model, so the recorded log stays
+// power-model-agnostic. Serialized in the TLIN logv2 section.
+type TimelinePoint struct {
+	Start, End uint64
+	Mode       [NumModes]Bucket
+	DiskJ      float64 // cumulative disk energy at End
+}
+
 // Collector gathers attribution-tagged counts on the simulator hot path and
 // flushes them into sample windows.
 type Collector struct {
@@ -140,6 +173,15 @@ type Collector struct {
 	svc     Svc
 	cur     Sample
 	samples []Sample
+
+	// acc is the bucket every hot-path count lands in: &cur.Mode[mode]
+	// normally, the current pend-cache slot while an energy sink is
+	// installed. Keeping it current at every retarget point (mode
+	// change, sink install, pend-slot move, state decode) makes the
+	// per-cycle/per-unit paths a single unconditional pointer write —
+	// no profiler branch, no mode indexing. cur is an inline field, so
+	// flush's value reset never moves the pointee.
+	acc *Bucket
 
 	// Per-service accounting. The invocation stack is maintained by the
 	// machine (push on exception entry, pop on ERET), swapped on context
@@ -162,14 +204,46 @@ type Collector struct {
 	// callback must hand its batch over via AddUnits (which never
 	// re-enters drain).
 	drain func()
+
+	// Energy-profiler plumbing (DESIGN.md §15). When ep is nil — the
+	// default — every hot-path hook below is a single pointer compare.
+	// When set, counts route into the pend-cache slot acc points at
+	// INSTEAD of the open window bucket: epFlush both charges each
+	// non-empty pend to ep under its (PC bucket, mode, ASID) key and
+	// folds it into cur.Mode[mode], so the serialized windows stay
+	// bit-identical to a profiler-less run while the hot path pays one
+	// accumulation, not two. The pends form a small fully-associative
+	// cache over recent PC-bucket keys: code ping-ponging across a
+	// bucket boundary (a loop spanning two lines, a call site and its
+	// callee) switches slots instead of charging the sink on every
+	// crossing, which keeps the enabled-path overhead in budget. All
+	// slots hold counts accrued under the CURRENT mode only — epFlush
+	// empties every slot at each window flush, before any mode/service
+	// change, and before any read of cur (ModeTotals, EncodeState); it
+	// must always run after drainPending: the drain callback delivers
+	// its units through AddUnits, which lands them in *acc under the
+	// old key.
+	ep       EnergySink
+	epPends  [epWays]Bucket
+	epKeys   [epWays]uint64 // packed 1<<63 | bucket<<8 | asid; 0 = empty
+	epVictim uint32         // round-robin eviction cursor
+	epPC     uint32         // current PC bucket (pc >> epShift)
+	epASID   uint8
+	epShift  uint32
 }
+
+// epWays is the pend-cache associativity: enough slots that a loop
+// spanning a few PC buckets (or a tight call/return pair) stays resident.
+const epWays = 4
 
 // NewCollector creates a collector flushing every windowCycles cycles.
 func NewCollector(windowCycles uint64) *Collector {
 	if windowCycles == 0 {
 		windowCycles = 10000
 	}
-	return &Collector{WindowCycles: windowCycles, mode: ModeKernel, nextFlush: windowCycles}
+	c := &Collector{WindowCycles: windowCycles, mode: ModeKernel, nextFlush: windowCycles}
+	c.acc = &c.cur.Mode[c.mode]
+	return c
 }
 
 // SetEnergyFn installs the per-invocation energy callback (may be nil).
@@ -187,6 +261,78 @@ func (c *Collector) drainPending() {
 	}
 }
 
+// SetEnergySink installs (or, with nil, removes) the energy-profiler sink
+// and its PC bucket shift. Call before simulation starts: installing a
+// sink mid-run would charge the first batch to bucket 0.
+func (c *Collector) SetEnergySink(ep EnergySink, shift uint32) {
+	c.ep = ep
+	c.epShift = shift
+	c.epPends = [epWays]Bucket{}
+	c.epKeys = [epWays]uint64{}
+	c.epKeys[0] = 1 << 63 // bucket 0, asid 0: matches the zero epPC/epASID
+	c.acc = &c.epPends[0]
+	c.epVictim = 1
+	c.epPC, c.epASID = 0, 0
+}
+
+// EnergySinkShift returns the installed sink's PC bucket shift.
+func (c *Collector) EnergySinkShift() uint32 { return c.epShift }
+
+// epFlush hands every pending profiler batch to the sink under its key
+// and folds it into the open window bucket (the hot paths route counts
+// into the pend cache instead of cur while a sink is installed). Slot
+// keys survive the flush, so resident buckets keep hitting. Callers must
+// drainPending first so batched units are included.
+func (c *Collector) epFlush() {
+	for i := range c.epPends {
+		if c.epPends[i] != (Bucket{}) {
+			c.ep.Charge(uint32(c.epKeys[i]>>8), c.mode, uint8(c.epKeys[i]), &c.epPends[i])
+			c.cur.Mode[c.mode].Add(&c.epPends[i])
+			c.epPends[i] = Bucket{}
+		}
+	}
+}
+
+// SetEPC moves the profiler's PC/ASID key. The machine calls it once per
+// committed instruction; the early return makes straight-line execution
+// inside one bucket cost two compares. Counts accrued since the previous
+// call are charged to the previous key, so a bucket's total can lag its
+// boundary by at most one instruction's activity — an accepted
+// approximation (DESIGN.md §15); batching models (MXS) resolve to the
+// granularity of their drain batches.
+func (c *Collector) SetEPC(pc uint32, asid uint8) {
+	bucket := pc >> c.epShift
+	if bucket == c.epPC && asid == c.epASID {
+		return
+	}
+	c.epMove(bucket, asid)
+}
+
+// epMove is SetEPC's cold path, split out so the bucket-unchanged fast
+// path stays inlinable at the per-instruction call site. A hit in the
+// pend cache just retargets acc; a miss evicts one slot round-robin,
+// charging its batch to the sink and folding it into the open window.
+func (c *Collector) epMove(bucket uint32, asid uint8) {
+	c.drainPending()
+	key := 1<<63 | uint64(bucket)<<8 | uint64(asid)
+	c.epPC, c.epASID = bucket, asid
+	for i := range c.epKeys {
+		if c.epKeys[i] == key {
+			c.acc = &c.epPends[i]
+			return
+		}
+	}
+	v := c.epVictim
+	c.epVictim = (v + 1) % epWays
+	if c.epPends[v] != (Bucket{}) {
+		c.ep.Charge(uint32(c.epKeys[v]>>8), c.mode, uint8(c.epKeys[v]), &c.epPends[v])
+		c.cur.Mode[c.mode].Add(&c.epPends[v])
+		c.epPends[v] = Bucket{}
+	}
+	c.epKeys[v] = key
+	c.acc = &c.epPends[v]
+}
+
 // SetContext switches the attribution context. svc is SvcNone outside any
 // kernel service.
 func (c *Collector) SetContext(mode Mode, svc Svc) {
@@ -194,8 +340,14 @@ func (c *Collector) SetContext(mode Mode, svc Svc) {
 		return
 	}
 	c.drainPending()
+	if c.ep != nil {
+		c.epFlush()
+	}
 	c.mode = mode
 	c.svc = svc
+	if c.ep == nil {
+		c.acc = &c.cur.Mode[mode]
+	}
 }
 
 // Mode returns the current attribution mode.
@@ -206,7 +358,7 @@ func (c *Collector) Service() Svc { return c.svc }
 
 // AddUnit records n accesses to unit u in the current context.
 func (c *Collector) AddUnit(u Unit, n uint64) {
-	c.cur.Mode[c.mode].Units[u] += n
+	c.acc.Units[u] += n
 	if c.svc != SvcNone {
 		c.invAcc[c.svc].Units[u] += n
 	}
@@ -220,7 +372,7 @@ func (c *Collector) AddUnit(u Unit, n uint64) {
 // batching within one unchanged context is bit-identical to the unbatched
 // sequence.
 func (c *Collector) AddUnits(u *UnitCounts) {
-	c.cur.Mode[c.mode].Units.Add(u)
+	c.acc.Units.Add(u)
 	if c.svc != SvcNone {
 		c.invAcc[c.svc].Units.Add(u)
 	}
@@ -235,7 +387,10 @@ func (c *Collector) AddUnits(u *UnitCounts) {
 func (c *Collector) AddCycles(n uint64) {
 	for c.totalCycles+n >= c.nextFlush {
 		step := c.nextFlush - c.totalCycles
-		c.cur.Mode[c.mode].Cycles += step
+		// flush folds any pend slots into the window at the exact
+		// boundary, so the split stays bit-identical to the per-cycle
+		// path.
+		c.acc.Cycles += step
 		c.totalCycles += step
 		if c.svc != SvcNone {
 			c.invAcc[c.svc].Cycles += step
@@ -246,7 +401,7 @@ func (c *Collector) AddCycles(n uint64) {
 	if n == 0 {
 		return
 	}
-	c.cur.Mode[c.mode].Cycles += n
+	c.acc.Cycles += n
 	c.totalCycles += n
 	if c.svc != SvcNone {
 		c.invAcc[c.svc].Cycles += n
@@ -257,7 +412,7 @@ func (c *Collector) AddCycles(n uint64) {
 // fast path: no window arithmetic beyond one comparison against the
 // precomputed flush bound.
 func (c *Collector) AddCycle() {
-	c.cur.Mode[c.mode].Cycles++
+	c.acc.Cycles++
 	c.totalCycles++
 	if c.svc != SvcNone {
 		c.invAcc[c.svc].Cycles++
@@ -269,7 +424,7 @@ func (c *Collector) AddCycle() {
 
 // AddInst records n committed instructions in the current context.
 func (c *Collector) AddInst(n uint64) {
-	c.cur.Mode[c.mode].Insts += n
+	c.acc.Insts += n
 	c.totalInsts += n
 	if c.svc != SvcNone {
 		c.invAcc[c.svc].Insts += n
@@ -316,19 +471,29 @@ func (c *Collector) AbortInvocation(svc Svc) {
 }
 
 // flush closes the current sample window at endCycle, first pulling any
-// batched units so they land in the window they accrued in.
+// batched units — and, with a profiler installed, the pending profiler
+// batch — so they land in the window they accrued in.
 func (c *Collector) flush(endCycle uint64) {
 	c.drainPending()
+	if c.ep != nil {
+		c.epFlush()
+	}
 	c.cur.End = endCycle
 	c.samples = append(c.samples, c.cur)
 	c.cur = Sample{Start: endCycle}
 	c.nextFlush = endCycle + c.WindowCycles
 }
 
-// Finish flushes the trailing partial window and returns the samples.
+// Finish flushes the trailing partial window and returns the samples. Any
+// pending profiler batch is charged to its key so the sink's totals are
+// complete.
 func (c *Collector) Finish() []Sample {
 	if c.totalCycles > c.cur.Start {
 		c.flush(c.totalCycles)
+	}
+	if c.ep != nil {
+		c.drainPending()
+		c.epFlush()
 	}
 	return c.samples
 }
@@ -348,6 +513,11 @@ func (c *Collector) TotalInsts() uint64 { return c.totalInsts }
 // ModeTotals sums all samples (plus the open window) per mode.
 func (c *Collector) ModeTotals() [NumModes]Bucket {
 	c.drainPending()
+	if c.ep != nil {
+		// Counts route through the pend cache while a profiler is installed;
+		// fold so the open window is current before it is read.
+		c.epFlush()
+	}
 	var out [NumModes]Bucket
 	for i := range c.samples {
 		for m := range out {

@@ -18,7 +18,11 @@
 # SAMPLED_MIN_SPEEDUP (default 5 — the §13 claim; both sides of the ratio
 # run on this host, so it does not need a host-specific tolerance), or if
 # the warm-over-cold FF-cache speedup fell below FFWARM_MIN_SPEEDUP
-# (default 3 — the §14 claim, same-host ratio again).
+# (default 3 — the §14 claim, same-host ratio again), or if the
+# mipsy-eprof row (energy profiler + power timeline on, DESIGN.md §15)
+# runs more than EPROF_MAX_OVERHEAD (default 0.10) slower than plain
+# mipsy, or if plain mipsy — the dormant observability path — slipped more
+# than EPROF_DISABLED_TOL (default 0.02) past the committed baseline.
 # BENCHTIME controls -benchtime (default 5x).
 #
 # Usage: scripts/bench.sh [output.json]
@@ -122,6 +126,54 @@ awk -v s="$warmspeed" -v min="$min_warm" 'BEGIN {
 		exit 1
 	}
 }'
+
+# Observability overhead gate (DESIGN.md §15): mipsy with the energy
+# profiler and power timeline enabled vs plain mipsy, both from the fresh
+# run — same host, same binary, so the ratio needs no host tolerance. The
+# enabled path must stay within EPROF_MAX_OVERHEAD (default 0.10). The
+# disabled path has no separate row: plain mipsy IS the disabled path with
+# the feature compiled in, and the baseline gate below holds it to the
+# committed floor (EPROF_DISABLED_TOL, default 0.02, checked here against
+# the committed mipsy row when a baseline exists).
+eprof_max="${EPROF_MAX_OVERHEAD:-0.10}"
+awk -v max="$eprof_max" '
+/"mipsy":/       { for (i = 1; i <= NF; i++) if ($i ~ /"ns_per_op":$/) { v = $(i+1); gsub(/,/, "", v); plain = v + 0 } }
+/"mipsy-eprof":/ { for (i = 1; i <= NF; i++) if ($i ~ /"ns_per_op":$/) { v = $(i+1); gsub(/,/, "", v); eprof = v + 0 } }
+END {
+	if (plain == 0 || eprof == 0) {
+		print "bench: missing mipsy/mipsy-eprof rows for the overhead gate"
+		exit 1
+	}
+	over = eprof / plain - 1
+	printf "bench: eprof+timeline overhead %.1f%% on mipsy (ceiling %.0f%%)\n", over * 100, max * 100
+	if (over > max + 0) {
+		printf "bench: REGRESSION: observability overhead exceeds the %.0f%% ceiling\n", max * 100
+		exit 1
+	}
+}' "$out"
+
+if git show HEAD:BENCH_softwatt.json > /dev/null 2>&1; then
+	dis_tol="${EPROF_DISABLED_TOL:-0.02}"
+	git show HEAD:BENCH_softwatt.json | awk -v tol="$dis_tol" -v fresh_json="$out" '
+	/"mipsy":/ { for (i = 1; i <= NF; i++) if ($i ~ /"ns_per_op":$/) { v = $(i+1); gsub(/,/, "", v); base = v + 0 } }
+	END {
+		while ((getline line < fresh_json) > 0)
+			if (line ~ /"mipsy":/) {
+				n = split(line, f, /[ ,]+/)
+				for (i = 1; i <= n; i++) if (f[i] ~ /"ns_per_op":$/) fresh = f[i+1] + 0
+			}
+		if (base == 0 || fresh == 0) {
+			print "bench: disabled-path gate: missing mipsy row; skipping"
+			exit 0
+		}
+		over = fresh / base - 1
+		printf "bench: disabled-path (plain mipsy) vs committed baseline: %+.1f%% (ceiling %.0f%%)\n", over * 100, tol * 100
+		if (over > tol + 0) {
+			printf "bench: REGRESSION: the dormant eprof/timeline path slowed mipsy >%.0f%%\n", tol * 100
+			exit 1
+		}
+	}' -
+fi
 
 # Regression gate: compare each core's Mcycles/s against the committed
 # baseline. The committed file is fetched from git so the gate works even

@@ -25,6 +25,7 @@ import (
 
 	"softwatt/internal/core"
 	"softwatt/internal/disk"
+	"softwatt/internal/eprof"
 	"softwatt/internal/machine"
 	"softwatt/internal/obs"
 	"softwatt/internal/power"
@@ -130,6 +131,18 @@ type Options struct {
 	CheckpointDir string
 	// CheckpointEvery is the checkpoint interval in cycles (default 5e8).
 	CheckpointEvery uint64
+	// EnergyProfile attributes every joule to the guest code that spent it
+	// (DESIGN.md §15): the run result carries per-PC-bucket energy usable
+	// via WriteEnergyProfile (pprof flame graphs) and swreport -eprof-top.
+	// Requires a timing core; rejected for "swift", which has no power
+	// model. Profiling changes no simulation results.
+	EnergyProfile bool
+	// TimelineCycles, when non-zero, records a power timeline point every
+	// so many cycles (rounded up to whole sample windows) into the run
+	// result and, live, into the /metrics gauges and Perfetto counter
+	// tracks. Timelines change no simulation results and do not
+	// participate in the configuration digest.
+	TimelineCycles uint64
 }
 
 // MachineConfig resolves the options into a machine configuration.
@@ -178,6 +191,10 @@ func (o Options) MachineConfig() (machine.Config, error) {
 		cfg.ClockHz = o.ClockHz
 	}
 	cfg.IdleHalt = o.IdleHalt
+	cfg.TimelineCycles = o.TimelineCycles
+	if o.EnergyProfile && cfg.Core == machine.CoreSwift {
+		return cfg, fmt.Errorf("softwatt: energy profiling needs a timing core (mipsy, mxs, mxs1); swift has no power model")
+	}
 	return cfg, nil
 }
 
@@ -212,7 +229,21 @@ func run(benchmark string, opt Options, tid int64) (*RunResult, error) {
 	// Per-invocation service energy (the paper's Table 5) is the one CPU
 	// quantity measured online, so wire the power model in.
 	model := power.Default()
-	m.Collector().SetEnergyFn(model.InvocationEnergy)
+	var ep *eprof.Profiler
+	if opt.EnergyProfile {
+		unitPJ, cyclePJ := model.EProfCoeffs()
+		ep = eprof.New(eprof.DefaultShift, unitPJ, cyclePJ)
+	}
+	wire := func(m *machine.Machine) {
+		m.Collector().SetEnergyFn(model.InvocationEnergy)
+		if ep != nil {
+			m.SetEnergyProfiler(ep, ep.Shift())
+		}
+		if cfg.TimelineCycles > 0 {
+			m.OnTimeline = timelineExporter(model, cfg.ClockHz, tid)
+		}
+	}
+	wire(m)
 	ckptPath := ""
 	if opt.CheckpointDir != "" {
 		if err := os.MkdirAll(opt.CheckpointDir, 0o755); err != nil {
@@ -224,7 +255,7 @@ func run(benchmark string, opt Options, tid int64) (*RunResult, error) {
 		if m, err = resumeMachine(m, cfg, w, ckptPath); err != nil {
 			return nil, err
 		}
-		m.Collector().SetEnergyFn(model.InvocationEnergy)
+		wire(m)
 	}
 	sp = obs.StartSpan(tid, "simulate "+benchmark, "simulate")
 	sp.Arg("core", cfg.Core.String())
@@ -244,6 +275,10 @@ func run(benchmark string, opt Options, tid int64) (*RunResult, error) {
 	}
 	sp = obs.StartSpan(tid, "estimate "+benchmark, "estimate")
 	r := core.Collect(m, benchmark, cfg.Core.String())
+	if ep != nil {
+		r.EProf = ep.Entries()
+		r.EProfShift = ep.Shift()
+	}
 	sp.End()
 	// Collect copies everything out of the machine, so its 128 MB RAM can
 	// go back to the pool for the next run in this process.
