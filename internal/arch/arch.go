@@ -142,6 +142,12 @@ type CPU struct {
 	duTLB   microTLB // last data translation
 	pd      []pdLine // predecoded instruction lines
 	pdLimit uint32   // predecode only below this physical address (0 = off)
+	// Last-decode memo: the metadata of the word DecodeAt most recently
+	// decoded, keyed by its physical address. Serves the MetaAt lookup that
+	// dispatch stages perform right after the fetch. Cleared on every
+	// predecode invalidation.
+	lastDecPaddr uint32
+	lastDecMeta  *isa.Meta
 	// Predecode effectiveness telemetry (see FastStats).
 	pdHits   uint64
 	pdMisses uint64

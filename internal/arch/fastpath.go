@@ -21,12 +21,22 @@ const (
 	pdLineCount = 8192 // 512 KB of code coverage, ~3 MB of host memory
 )
 
-// pdLine is one predecoded line: the decoded form of 16 consecutive
-// instruction words at a physical line address.
+// pdWord is one predecoded instruction word: the decoded form plus its
+// dispatch metadata (dependency ids, class, latency, serialization).
+// Interleaving the two keeps the metadata on the cache line the decode
+// already pulled in, so a timing model's dispatch stage pays no extra miss
+// to read what it would otherwise re-derive per instruction.
+type pdWord struct {
+	inst isa.Inst
+	meta isa.Meta
+}
+
+// pdLine is one predecoded line: 16 consecutive instruction words at a
+// physical line address.
 type pdLine struct {
 	base  uint32
 	valid bool
-	inst  [pdLineWords]isa.Inst
+	w     [pdLineWords]pdWord
 }
 
 func pdIndex(base uint32) uint32 {
@@ -50,7 +60,9 @@ func (c *CPU) EnablePredecode(limit uint32) {
 // DecodeAt returns the decoded instruction at physical address paddr,
 // filling (or hitting) the predecode cache when paddr is in the covered
 // window. Used for both real fetches and wrong-path (speculative) fetches:
-// the decoded form of a RAM word is the same either way.
+// the decoded form of a RAM word is the same either way. Each call leaves
+// the word's metadata behind in lastDec{Paddr,Meta} for the MetaAt fast
+// path that timing models hit immediately after stepping the fetch.
 func (c *CPU) DecodeAt(paddr uint32) isa.Inst {
 	if paddr >= c.pdLimit {
 		return isa.Decode(uint32(c.bus.ReadPhys(paddr, 4)))
@@ -58,8 +70,9 @@ func (c *CPU) DecodeAt(paddr uint32) isa.Inst {
 	base := paddr &^ (pdLineSize - 1)
 	ln := &c.pd[pdIndex(base)]
 	if !ln.valid || ln.base != base {
-		for i := range ln.inst {
-			ln.inst[i] = isa.Decode(uint32(c.bus.ReadPhys(base+uint32(i)*4, 4)))
+		for i := range ln.w {
+			ln.w[i].inst = isa.Decode(uint32(c.bus.ReadPhys(base+uint32(i)*4, 4)))
+			ln.w[i].inst.Fill(&ln.w[i].meta)
 		}
 		ln.base = base
 		ln.valid = true
@@ -67,7 +80,44 @@ func (c *CPU) DecodeAt(paddr uint32) isa.Inst {
 	} else {
 		c.pdHits++
 	}
-	return ln.inst[paddr>>2&(pdLineWords-1)]
+	w := &ln.w[paddr>>2&(pdLineWords-1)]
+	c.lastDecPaddr = paddr
+	c.lastDecMeta = &w.meta
+	return w.inst
+}
+
+// MetaAt returns the dispatch metadata for in, the instruction fetched from
+// physical address paddr: the metadata of the word DecodeAt last decoded
+// (the common case — dispatch asks right after the fetch that decoded it),
+// else the resident predecode word's sidecar entry, else metadata computed
+// into scratch from in itself. All paths produce exactly what in.Fill would
+// — the sidecar is filled from the same decoded words, and every predecode
+// invalidation also drops the last-decode memo. The pointer is only valid
+// until the next line fill; callers copy the fields out immediately.
+func (c *CPU) MetaAt(paddr uint32, in isa.Inst, scratch *isa.Meta) *isa.Meta {
+	if m := c.LastMeta(paddr); m != nil {
+		return m
+	}
+	if paddr < c.pdLimit {
+		base := paddr &^ (pdLineSize - 1)
+		ln := &c.pd[pdIndex(base)]
+		if ln.valid && ln.base == base {
+			return &ln.w[paddr>>2&(pdLineWords-1)].meta
+		}
+	}
+	in.Fill(scratch)
+	return scratch
+}
+
+// LastMeta is the inlinable fast path of MetaAt: it returns the metadata of
+// the word DecodeAt most recently decoded if that word is at paddr, else nil.
+// Timing models call this first so the overwhelmingly common
+// fetch-then-dispatch sequence costs a compare and a load, not a call.
+func (c *CPU) LastMeta(paddr uint32) *isa.Meta {
+	if c.lastDecMeta != nil && c.lastDecPaddr == paddr {
+		return c.lastDecMeta
+	}
+	return nil
 }
 
 // pdInvalidateLine drops the predecoded line containing paddr, if cached.
@@ -78,6 +128,7 @@ func (c *CPU) pdInvalidateLine(paddr uint32) {
 	if paddr >= c.pdLimit {
 		return
 	}
+	c.lastDecMeta = nil
 	base := paddr &^ (pdLineSize - 1)
 	ln := &c.pd[pdIndex(base)]
 	if ln.valid && ln.base == base {
@@ -92,6 +143,7 @@ func (c *CPU) InvalidatePredecode(paddr uint32, n int) {
 	if c.pdLimit == 0 || n <= 0 {
 		return
 	}
+	c.lastDecMeta = nil
 	first := paddr &^ (pdLineSize - 1)
 	last := (paddr + uint32(n) - 1) &^ (pdLineSize - 1)
 	for base := first; ; base += pdLineSize {
@@ -107,6 +159,7 @@ func (c *CPU) InvalidatePredecode(paddr uint32, n int) {
 
 // pdReset empties the predecode cache (CPU reset).
 func (c *CPU) pdReset() {
+	c.lastDecMeta = nil
 	for i := range c.pd {
 		c.pd[i].valid = false
 	}

@@ -85,8 +85,8 @@ func decodeRobEnt(r *ckpt.Reader, e *robEnt) {
 	for i := range e.srcSeq {
 		e.srcSeq[i] = r.U64()
 	}
-	e.nUses = int(r.I32())
-	e.nDefs = int(r.I32())
+	e.nUses = int8(r.I32())
+	e.nDefs = int8(r.I32())
 	for i := range e.defs {
 		e.defs[i] = r.U8()
 	}
@@ -150,9 +150,14 @@ func (c *Core) EncodeState(w *ckpt.Writer) {
 	}
 	encodeHeap(w, &c.compQ)
 	encodeHeap(w, &c.issueQ)
-	for _, refs := range c.wake {
-		w.U32(uint32(len(refs)))
-		for _, ref := range refs {
+	for i := range c.wake {
+		l := &c.wake[i]
+		w.U32(uint32(int(l.n) + len(l.over)))
+		for j := int32(0); j < l.n; j++ {
+			w.U64(l.a[j].uid)
+			w.I32(l.a[j].slot)
+		}
+		for _, ref := range l.over {
 			w.U64(ref.uid)
 			w.I32(ref.slot)
 		}
@@ -241,6 +246,18 @@ func (c *Core) DecodeState(r *ckpt.Reader) {
 	for i := range c.ready.w {
 		c.ready.w[i] = r.U64()
 	}
+	// The store-forwarding bitset is derived state: rebuild it from the live
+	// window entries instead of serializing it (keeps the format stable).
+	c.stores.reset()
+	for i := 0; i < c.count; i++ {
+		slot := c.head + i
+		if slot >= c.cfg.WindowSize {
+			slot -= c.cfg.WindowSize
+		}
+		if e := &c.rob[slot]; e.isStore && e.real {
+			c.stores.set(slot)
+		}
+	}
 	c.decodeHeap(r, &c.compQ)
 	c.decodeHeap(r, &c.issueQ)
 	if r.Err() != nil {
@@ -248,14 +265,14 @@ func (c *Core) DecodeState(r *ckpt.Reader) {
 	}
 	for i := range c.wake {
 		n := r.Count(12) // uid + slot
-		c.wake[i] = c.wake[i][:0]
+		c.wake[i].reset()
 		for j := 0; j < n; j++ {
 			ref := wakeRef{uid: r.U64(), slot: r.I32()}
 			if ref.slot < 0 || int(ref.slot) >= c.cfg.WindowSize {
 				r.Corrupt("wake ref slot %d out of range", ref.slot)
 				return
 			}
-			c.wake[i] = append(c.wake[i], ref)
+			c.wake[i].add(ref)
 		}
 	}
 	ns := r.Count(4)

@@ -76,6 +76,9 @@ const (
 
 const never = math.MaxUint64
 
+// never32 marks "no wrong-path fetch address" during dispatch.
+const never32 = math.MaxUint32
+
 // Front-end restart delays after a trap-class redirect commits: taking an
 // exception pays the pipeline privilege switch plus the vector fetch;
 // returning with ERET is cheaper (the target is architectural state).
@@ -84,6 +87,10 @@ const (
 	trapReturnPenalty = 2
 )
 
+// robEnt is one window entry. The whole 64-entry window (~14 KB) stays
+// L1-resident on any modern host, so field order within the entry is not
+// performance-critical; the flag/count bytes are narrow (int8) simply to
+// keep the entry compact.
 type robEnt struct {
 	real bool // architecturally stepped (true path)
 	info arch.StepInfo
@@ -103,11 +110,11 @@ type robEnt struct {
 	pendSrc    int8      // outstanding (uncompleted, in-window) producers
 	class      isa.Class // decode info cached at dispatch: Info() is a struct
 	lat        uint8     // copy per call, too hot for writeback/issue/commit
+	nUses      int8
+	nDefs      int8
 
 	uses   [4]uint8
 	srcSeq [4]uint64 // producing entry's seq per source (0 = architecturally ready)
-	nUses  int
-	nDefs  int
 	defs   [2]uint8
 
 	// prevProd saves, per def, the regProducer value this entry replaced
@@ -128,6 +135,34 @@ type wakeRef struct {
 	slot int32
 }
 
+// wakeInline is how many subscribers a producer slot holds in its inline
+// array before spilling. Most producers feed one or two consumers inside
+// the window; six covers essentially every list without heap traffic.
+const wakeInline = 6
+
+// wakeList is a producer slot's subscriber list. The common-case entries
+// live in a fixed inline array so dispatch's append and writeback's scan
+// stay within the slot's own cache lines; rare long lists spill to a slice.
+type wakeList struct {
+	n    int32
+	a    [wakeInline]wakeRef
+	over []wakeRef
+}
+
+func (l *wakeList) add(r wakeRef) {
+	if l.n < wakeInline {
+		l.a[l.n] = r
+		l.n++
+		return
+	}
+	l.over = append(l.over, r)
+}
+
+func (l *wakeList) reset() {
+	l.n = 0
+	l.over = l.over[:0]
+}
+
 // Core is the MXS timing model.
 type Core struct {
 	cfg Config
@@ -135,6 +170,11 @@ type Core struct {
 	h   *mem.Hierarchy
 	col *trace.Collector
 	bus arch.Bus // wrong-path instruction reads
+	// sync publishes exact device time before each batched cycle, so MMIO
+	// reached from fetch (uncached loads/stores execute functionally at
+	// dispatch) sees what a per-cycle loop would have shown it. Bound from
+	// the bus when the bus is the machine; nil in direct harnesses.
+	sync cycleSync
 
 	rob   []robEnt
 	head  int
@@ -168,11 +208,12 @@ type Core struct {
 	// Event structures (see DESIGN.md §11). All reference entries by
 	// physical slot + uid; squash invalidates by zeroing the entry's uid
 	// and stale references are discarded lazily.
-	ready       slotBits    // waiting entries with no pending sources, issueAt reached
-	compQ       eventHeap   // (doneAt, uid): issued entries awaiting completion
-	issueQ      eventHeap   // (issueAt, uid): operand-ready entries in the front-end shadow
-	wake        [][]wakeRef // per producer slot: consumers to notify at completion
-	serialSlots []int32     // slots of waiting serializing entries (issue-block scan)
+	ready       slotBits   // waiting entries with no pending sources, issueAt reached
+	stores      slotBits   // real store entries (store-forwarding candidates)
+	compQ       eventHeap  // (doneAt, uid): issued entries awaiting completion
+	issueQ      eventHeap  // (issueAt, uid): operand-ready entries in the front-end shadow
+	wake        []wakeList // per producer slot: consumers to notify at completion
+	serialSlots []int32    // slots of waiting serializing entries (issue-block scan)
 
 	bht    []uint8
 	btb    []btbEnt
@@ -186,6 +227,13 @@ type Core struct {
 
 	divBusyUntil   uint64
 	fpDivBusyUntil uint64
+
+	// sawUncached marks that fetch dispatched an uncached access this
+	// cycle: its MMIO side effects may have re-armed device events, so
+	// TickBatch must end the batch and let the machine re-clamp.
+	sawUncached bool
+	// skipped counts cycles elided by TickBatch's internal clock skip.
+	skipped uint64
 
 	// Statistics.
 	Committed   uint64
@@ -204,23 +252,29 @@ type Core struct {
 	// passing its address to the commit callback does not force a heap
 	// allocation per fetched instruction (a stack-local would escape).
 	scratch arch.StepInfo
+
+	// mscratch is dispatch's fallback metadata buffer for instructions whose
+	// predecode line is not resident (MMIO-region fetches, interrupt
+	// dispatches with no fetched word).
+	mscratch isa.Meta
 }
 
 // New creates an MXS core. bus is the physical address space used for
 // wrong-path instruction reads (normally the same bus the CPU sees).
 func New(cpu *arch.CPU, h *mem.Hierarchy, col *trace.Collector, bus arch.Bus, cfg Config) *Core {
 	c := &Core{
-		cfg:   cfg,
-		cpu:   cpu,
-		h:     h,
-		col:   col,
-		bus:   bus,
-		rob:   make([]robEnt, cfg.WindowSize),
-		ready: newSlotBits(cfg.WindowSize),
-		wake:  make([][]wakeRef, cfg.WindowSize),
-		bht:   make([]uint8, cfg.BHTSize),
-		btb:   make([]btbEnt, cfg.BTBSize),
-		ras:   make([]uint32, cfg.RASSize),
+		cfg:    cfg,
+		cpu:    cpu,
+		h:      h,
+		col:    col,
+		bus:    bus,
+		rob:    make([]robEnt, cfg.WindowSize),
+		ready:  newSlotBits(cfg.WindowSize),
+		stores: newSlotBits(cfg.WindowSize),
+		wake:   make([]wakeList, cfg.WindowSize),
+		bht:    make([]uint8, cfg.BHTSize),
+		btb:    make([]btbEnt, cfg.BTBSize),
+		ras:    make([]uint32, cfg.RASSize),
 	}
 	for i := range c.bht {
 		c.bht[i] = 1 // weakly not-taken
@@ -237,6 +291,7 @@ func New(cpu *arch.CPU, h *mem.Hierarchy, col *trace.Collector, bus arch.Bus, cf
 	c.fetchPC = cpu.PC
 	c.nextSeq = 1
 	c.headSeq = 1
+	c.sync, _ = bus.(cycleSync)
 	// The collector pulls the batched unit counts whenever attribution
 	// placement matters (context move, window flush, totals read), so the
 	// hot path never flushes eagerly.
@@ -268,6 +323,12 @@ func (c *Core) at(i int) *robEnt {
 	return &c.rob[s]
 }
 
+// cycleSync mirrors swift.CycleSync: SyncCycle publishes the exact current
+// cycle to the machine before steps that can reach MMIO.
+type cycleSync interface {
+	SyncCycle(cycle uint64)
+}
+
 // Tick advances one cycle.
 func (c *Core) Tick(cycle uint64, commit func(*arch.StepInfo)) {
 	if c.halted {
@@ -277,6 +338,57 @@ func (c *Core) Tick(cycle uint64, commit func(*arch.StepInfo)) {
 	c.commitStage(cycle, commit)
 	c.issue(cycle)
 	c.fetch(cycle, commit)
+}
+
+// TickBatch runs up to budget cycles from cycle start inside the core,
+// charging each executed cycle to the collector itself and letting the
+// next-event clock skip (NextEvent) fire without a machine round-trip.
+// The machine clamps the budget to its next device/timer/telemetry event,
+// so the only way device state can change mid-batch is an uncached access
+// dispatched by fetch — sawUncached ends the batch there so the machine
+// re-clamps. Results are bit-identical to per-cycle ticking: the stage
+// order, collector call sequence, and skip accounting are exactly those of
+// runCycles, and SyncCycle keeps the machine's notion of time exact for
+// every cycle that executes.
+func (c *Core) TickBatch(start, budget uint64, commit func(*arch.StepInfo)) uint64 {
+	end := start + budget
+	cyc := start
+	for cyc < end && !c.halted {
+		if c.sync != nil {
+			c.sync.SyncCycle(cyc)
+		}
+		c.writeback(cyc)
+		c.commitStage(cyc, commit)
+		c.issue(cyc)
+		c.fetch(cyc, commit)
+		c.col.AddCycle()
+		cyc++
+		if c.sawUncached {
+			c.sawUncached = false
+			break
+		}
+		if c.halted || cyc >= end {
+			break
+		}
+		next := c.NextEvent(cyc)
+		if next > cyc {
+			target := next
+			if target > end {
+				target = end
+			}
+			c.col.AddCycles(target - cyc)
+			c.skipped += target - cyc
+			cyc = target
+		}
+	}
+	return cyc - start
+}
+
+// TakeSkipped returns and clears the cycles TickBatch elided (telemetry).
+func (c *Core) TakeSkipped() uint64 {
+	s := c.skipped
+	c.skipped = 0
+	return s
 }
 
 // NextEvent reports the earliest cycle >= cycle at which the core can make
@@ -401,22 +513,29 @@ func (c *Core) writeback(cycle uint64) {
 // ready set (or to the issue-eligibility heap while its front-end delay
 // still runs).
 func (c *Core) wakeConsumers(slot int, cycle uint64) {
-	refs := c.wake[slot]
-	for _, r := range refs {
-		t := &c.rob[r.slot]
-		if t.uid != r.uid || t.state != stWaiting {
-			continue // consumer squashed since it subscribed
-		}
-		t.pendSrc--
-		if t.pendSrc == 0 {
-			if t.issueAt <= cycle {
-				c.ready.set(int(r.slot))
-			} else {
-				c.issueQ.push(schedEvent{at: t.issueAt, uid: t.uid, slot: r.slot})
-			}
+	l := &c.wake[slot]
+	for i := int32(0); i < l.n; i++ {
+		c.wakeOne(l.a[i], cycle)
+	}
+	for _, r := range l.over {
+		c.wakeOne(r, cycle)
+	}
+	l.reset()
+}
+
+func (c *Core) wakeOne(r wakeRef, cycle uint64) {
+	t := &c.rob[r.slot]
+	if t.uid != r.uid || t.state != stWaiting {
+		return // consumer squashed since it subscribed
+	}
+	t.pendSrc--
+	if t.pendSrc == 0 {
+		if t.issueAt <= cycle {
+			c.ready.set(int(r.slot))
+		} else {
+			c.issueQ.push(schedEvent{at: t.issueAt, uid: t.uid, slot: r.slot})
 		}
 	}
-	c.wake[slot] = refs[:0]
 }
 
 // ---------------------------------------------------------------------------
@@ -425,7 +544,7 @@ func (c *Core) wakeConsumers(slot int, cycle uint64) {
 
 func (c *Core) commitStage(cycle uint64, commit func(*arch.StepInfo)) {
 	for n := 0; n < c.cfg.CommitWidth && c.count > 0; n++ {
-		e := c.at(0)
+		e := &c.rob[c.head] // c.at(0), with the wrap arithmetic folded away
 		if e.state != stDone {
 			return
 		}
@@ -457,6 +576,7 @@ func (c *Core) commitStage(cycle uint64, commit func(*arch.StepInfo)) {
 		}
 		needRedirect := e.predNext != e.info.NextPC && !e.redirected
 		isMem, isStore := e.isMem, e.isStore
+		headSlot := c.head
 		c.head++
 		if c.head == c.cfg.WindowSize {
 			c.head = 0
@@ -467,6 +587,7 @@ func (c *Core) commitStage(cycle uint64, commit func(*arch.StepInfo)) {
 			c.lsqCount--
 			if isStore {
 				c.realStores-- // head entries are always real
+				c.stores.clear(headSlot)
 			}
 		}
 		if needRedirect {
@@ -519,12 +640,24 @@ func (c *Core) issue(cycle uint64) {
 			blockSeq = e.seq
 		}
 	}
-	intFree, fpFree := c.cfg.IntUnits, c.cfg.FPUnits
-	issued := 0
+	st := issueState{intFree: c.cfg.IntUnits, fpFree: c.cfg.FPUnits}
 	// Visit ready slots in age order: the live entries occupy the circular
 	// slot range [head, head+count), so ascending slots from head (wrapping
-	// once) is ascending seq. Each 64-slot word is visited via a snapshot
-	// mask (issuing only clears bits already consumed from the mask).
+	// once) is ascending seq. The scan works off a snapshot mask (issuing
+	// only clears bits already consumed from it).
+	if c.cfg.WindowSize == 64 {
+		// Single-word window (the default config): rotating the mask by head
+		// makes bit order equal age order, so one trailing-zeros loop
+		// replaces the two-pass per-word scan.
+		r := bits.RotateLeft64(c.ready.w[0], -c.head)
+		for ; r != 0; r &= r - 1 {
+			slot := (c.head + bits.TrailingZeros64(r)) & 63
+			if c.issueSlot(slot, cycle, blockSeq, &st) {
+				return
+			}
+		}
+		return
+	}
 	for pass := 0; pass < 2; pass++ {
 		lo, hi := c.head, c.cfg.WindowSize
 		if pass == 1 {
@@ -540,107 +673,125 @@ func (c *Core) issue(cycle uint64) {
 				m &= 1<<uint(hi-base) - 1
 			}
 			for ; m != 0; m &= m - 1 {
-				slot := base + bits.TrailingZeros64(m)
-				if issued == c.cfg.IssueWidth {
+				if c.issueSlot(base+bits.TrailingZeros64(m), cycle, blockSeq, &st) {
 					return
 				}
-				e := &c.rob[slot]
-				if e.seq >= blockSeq {
-					return // held back by an older serializing entry
-				}
-				if e.serial && (e.seq != c.headSeq || issued != 0) {
-					return // serializing work issues only from the head, alone
-				}
-				// Functional unit binding.
-				lat := int(e.lat)
-				switch e.class {
-				case isa.ClassFP:
-					if fpFree == 0 {
-						continue
-					}
-					fpFree--
-					c.countFU(e, trace.UnitFPU)
-				case isa.ClassFPDiv:
-					if fpFree == 0 || c.fpDivBusyUntil > cycle {
-						continue
-					}
-					fpFree--
-					c.fpDivBusyUntil = cycle + uint64(lat)
-					c.countFU(e, trace.UnitFPU)
-				case isa.ClassDiv:
-					if intFree == 0 || c.divBusyUntil > cycle {
-						continue
-					}
-					intFree--
-					c.divBusyUntil = cycle + uint64(lat)
-					c.countFU(e, trace.UnitMul)
-				case isa.ClassMul:
-					if intFree == 0 {
-						continue
-					}
-					intFree--
-					c.countFU(e, trace.UnitMul)
-				default:
-					if intFree == 0 {
-						continue
-					}
-					intFree--
-					c.countFU(e, trace.UnitALU)
-				}
-				issued++
-				e.state = stIssued
-				c.ready.clear(slot)
-				if e.serial {
-					c.serialSlotsRemove(int32(slot))
-				}
-				if e.real {
-					c.addUnit(trace.UnitWindow, 1) // wakeup + select
-					if e.nUses > 0 {
-						c.addUnit(trace.UnitRegRead, uint64(e.nUses))
-					}
-				}
-
-				switch {
-				case e.isMem && e.isStore:
-					// Address generation; the cache write happens at commit.
-					if e.real {
-						c.addUnit(trace.UnitLSQ, 1)
-					}
-					e.doneAt = cycle + 1
-				case e.isMem:
-					if e.real {
-						c.addUnit(trace.UnitLSQ, 1)
-					}
-					if !e.real {
-						e.doneAt = cycle + 1 // wrong-path load: no data access
-						break
-					}
-					if e.info.MemUncached {
-						ulat, _ := c.h.Uncached()
-						e.doneAt = cycle + uint64(ulat)
-						break
-					}
-					if c.forwardedFromStore(int(e.seq-c.headSeq), e.info.MemPaddr) {
-						e.doneAt = cycle + 1
-						break
-					}
-					dlat, acc := c.h.Data(e.info.MemPaddr, false)
-					c.countMem(acc)
-					e.doneAt = cycle + uint64(dlat)
-				case e.real && e.inst.Op == isa.OpCACHE && e.info.CacheMapped:
-					flat, facc := c.h.FlushLine(e.info.CachePaddr)
-					c.countMem(facc)
-					e.doneAt = cycle + uint64(flat)
-				default:
-					e.doneAt = cycle + uint64(lat)
-				}
-				if e.doneAt <= cycle {
-					e.doneAt = cycle + 1 // defensive: writeback assumes future completions
-				}
-				c.compQ.push(schedEvent{at: e.doneAt, uid: e.uid, slot: int32(slot)})
 			}
 		}
 	}
+}
+
+// issueState carries the per-cycle functional-unit budget through the
+// issue scan.
+type issueState struct {
+	intFree int
+	fpFree  int
+	issued  int
+}
+
+// issueSlot attempts to issue the ready entry in slot, updating the cycle's
+// unit budget. It reports whether the issue stage must stop scanning (width
+// exhausted or an ordering constraint); a candidate skipped for a busy
+// functional unit returns false so younger candidates are still considered.
+func (c *Core) issueSlot(slot int, cycle uint64, blockSeq uint64, st *issueState) bool {
+	if st.issued == c.cfg.IssueWidth {
+		return true
+	}
+	e := &c.rob[slot]
+	if e.seq >= blockSeq {
+		return true // held back by an older serializing entry
+	}
+	if e.serial && (e.seq != c.headSeq || st.issued != 0) {
+		return true // serializing work issues only from the head, alone
+	}
+	// Functional unit binding.
+	lat := int(e.lat)
+	switch e.class {
+	case isa.ClassFP:
+		if st.fpFree == 0 {
+			return false
+		}
+		st.fpFree--
+		c.countFU(e, trace.UnitFPU)
+	case isa.ClassFPDiv:
+		if st.fpFree == 0 || c.fpDivBusyUntil > cycle {
+			return false
+		}
+		st.fpFree--
+		c.fpDivBusyUntil = cycle + uint64(lat)
+		c.countFU(e, trace.UnitFPU)
+	case isa.ClassDiv:
+		if st.intFree == 0 || c.divBusyUntil > cycle {
+			return false
+		}
+		st.intFree--
+		c.divBusyUntil = cycle + uint64(lat)
+		c.countFU(e, trace.UnitMul)
+	case isa.ClassMul:
+		if st.intFree == 0 {
+			return false
+		}
+		st.intFree--
+		c.countFU(e, trace.UnitMul)
+	default:
+		if st.intFree == 0 {
+			return false
+		}
+		st.intFree--
+		c.countFU(e, trace.UnitALU)
+	}
+	st.issued++
+	e.state = stIssued
+	c.ready.clear(slot)
+	if e.serial {
+		c.serialSlotsRemove(int32(slot))
+	}
+	if e.real {
+		c.addUnit(trace.UnitWindow, 1) // wakeup + select
+		if e.nUses > 0 {
+			c.addUnit(trace.UnitRegRead, uint64(e.nUses))
+		}
+	}
+
+	switch {
+	case e.isMem && e.isStore:
+		// Address generation; the cache write happens at commit.
+		if e.real {
+			c.addUnit(trace.UnitLSQ, 1)
+		}
+		e.doneAt = cycle + 1
+	case e.isMem:
+		if e.real {
+			c.addUnit(trace.UnitLSQ, 1)
+		}
+		if !e.real {
+			e.doneAt = cycle + 1 // wrong-path load: no data access
+			break
+		}
+		if e.info.MemUncached {
+			ulat, _ := c.h.Uncached()
+			e.doneAt = cycle + uint64(ulat)
+			break
+		}
+		if c.forwardedFromStore(int(e.seq-c.headSeq), e.info.MemPaddr) {
+			e.doneAt = cycle + 1
+			break
+		}
+		dlat, acc := c.h.Data(e.info.MemPaddr, false)
+		c.countMem(acc)
+		e.doneAt = cycle + uint64(dlat)
+	case e.real && e.inst.Op == isa.OpCACHE && e.info.CacheMapped:
+		flat, facc := c.h.FlushLine(e.info.CachePaddr)
+		c.countMem(facc)
+		e.doneAt = cycle + uint64(flat)
+	default:
+		e.doneAt = cycle + uint64(lat)
+	}
+	if e.doneAt <= cycle {
+		e.doneAt = cycle + 1 // defensive: writeback assumes future completions
+	}
+	c.compQ.push(schedEvent{at: e.doneAt, uid: e.uid, slot: int32(slot)})
+	return false
 }
 
 // serialSlotsRemove drops one slot from the waiting-serial list.
@@ -658,6 +809,25 @@ func (c *Core) serialSlotsRemove(slot int32) {
 func (c *Core) forwardedFromStore(idx int, paddr uint32) bool {
 	if c.realStores == 0 {
 		return false // no store in the window: nothing to search
+	}
+	if c.cfg.WindowSize == 64 {
+		// Only store entries can match, so scan just their slots: rotating
+		// the store bitset by head makes bit order equal window position,
+		// and masking to positions [0, idx) keeps only older entries. The
+		// match is an existence test, so visit order does not matter.
+		m := bits.RotateLeft64(c.stores.w[0], -c.head)
+		if idx < 64 {
+			m &= 1<<uint(idx) - 1
+		}
+		for ; m != 0; m &= m - 1 {
+			slot := (c.head + bits.TrailingZeros64(m)) & 63
+			e := &c.rob[slot]
+			if e.info.Mem == arch.MemStore && e.info.MemPaddr>>2 == paddr>>2 {
+				c.addUnit(trace.UnitLSQ, 1) // forwarding search hit
+				return true
+			}
+		}
+		return false
 	}
 	for i := idx - 1; i >= 0; i-- {
 		e := c.at(i)
@@ -712,6 +882,7 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 		}
 		e := &c.rob[slot]
 		real := !c.wrongPath && c.fetchPC == c.cpu.PC
+		var wpPaddr uint32
 		e.pc = c.fetchPC
 		e.issueAt = cycle + uint64(c.cfg.FrontDepth)
 		e.real = real
@@ -731,6 +902,9 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 				c.sleep = true
 			}
 			e.inst = info.Inst
+			if info.Mem != arch.MemNone && info.MemUncached {
+				c.sawUncached = true
+			}
 			if info.TLBLookups > 0 {
 				c.addUnit(trace.UnitTLB, uint64(info.TLBLookups))
 			}
@@ -741,6 +915,7 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 					e.issueAt += uint64(ilat - 1)
 				}
 			}
+			wpPaddr = never32
 		} else {
 			// Wrong-path fetch: read memory, decode, never execute.
 			c.Bogus++
@@ -755,15 +930,36 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 				e.issueAt += uint64(ilat - 1)
 			}
 			e.inst = c.decodeWrongPath(paddr)
+			wpPaddr = paddr
 		}
 
-		e.class = e.inst.Class()
-		e.lat = e.inst.Latency()
+		// Dispatch metadata: one predecode-sidecar load replaces the Deps
+		// switch plus the class/latency/serializing table lookups. The
+		// sidecar entry is what Fill computes for the identical decoded word,
+		// so the fallback (non-resident line, no fetched word) is equivalent.
+		var mt *isa.Meta
+		switch {
+		case real && e.info.Fetched:
+			if mt = c.cpu.LastMeta(e.info.PhysPC); mt == nil {
+				mt = c.cpu.MetaAt(e.info.PhysPC, e.inst, &c.mscratch)
+			}
+		case !real && wpPaddr != never32 && c.bus != nil:
+			mt = c.cpu.MetaAt(wpPaddr, e.inst, &c.mscratch)
+		default:
+			e.inst.Fill(&c.mscratch)
+			mt = &c.mscratch
+		}
+		e.class = mt.Class
+		e.lat = mt.Lat
+		e.uses = mt.Uses
+		e.defs = mt.Defs
+		e.nUses = int8(mt.NUses)
+		e.nDefs = int8(mt.NDefs)
+		serialOp := mt.Serial
 		if e.real {
 			c.addUnit(trace.UnitRename, 1)
 		}
-		e.nUses, e.nDefs = e.inst.Deps(&e.uses, &e.defs)
-		for u := 0; u < e.nUses; u++ {
+		for u := 0; u < int(e.nUses); u++ {
 			e.srcSeq[u] = c.regProducer[e.uses[u]] // rename: capture producers
 		}
 		e.isMem = e.class == isa.ClassLoad || e.class == isa.ClassStore
@@ -783,6 +979,7 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 			c.lsqCount++
 			if e.isStore && e.real {
 				c.realStores++
+				c.stores.set(slot)
 			}
 		}
 
@@ -805,12 +1002,12 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 		c.nextSeq++
 		c.nextUID++
 		e.uid = c.nextUID
-		for d := 0; d < e.nDefs; d++ {
+		for d := 0; d < int(e.nDefs); d++ {
 			e.prevProd[d] = c.regProducer[e.defs[d]]
 			c.regProducer[e.defs[d]] = e.seq
 		}
 
-		e.serial = e.real && (e.inst.Serializing() || e.info.TookException ||
+		e.serial = e.real && (serialOp || e.info.TookException ||
 			e.info.MemUncached || e.info.Waiting || e.info.Halted)
 		if e.serial {
 			c.serialInFlight++
@@ -818,8 +1015,8 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 		// Wakeup subscription: count outstanding in-window producers and
 		// register with each; an entry with none outstanding waits only
 		// for its front-end delay (issueAt is in the future at dispatch).
-		c.wake[slot] = c.wake[slot][:0]
-		for u := 0; u < e.nUses; u++ {
+		c.wake[slot].reset()
+		for u := 0; u < int(e.nUses); u++ {
 			s := e.srcSeq[u]
 			if s < c.headSeq {
 				continue // producer committed (or none): value architectural
@@ -832,7 +1029,7 @@ func (c *Core) fetch(cycle uint64, commit func(*arch.StepInfo)) {
 				continue // already completed: no wakeup coming
 			}
 			e.pendSrc++
-			c.wake[ps] = append(c.wake[ps], wakeRef{uid: e.uid, slot: int32(slot)})
+			c.wake[ps].add(wakeRef{uid: e.uid, slot: int32(slot)})
 		}
 		if e.serial {
 			c.serialSlots = append(c.serialSlots, int32(slot))
@@ -1024,18 +1221,19 @@ func (c *Core) squashAfter(keep int) {
 			c.lsqCount--
 			if e.isStore && e.real {
 				c.realStores--
+				c.stores.clear(slot)
 			}
 		}
 		if e.serial {
 			c.serialInFlight--
 		}
-		for d := e.nDefs - 1; d >= 0; d-- {
+		for d := int(e.nDefs) - 1; d >= 0; d-- {
 			if c.regProducer[e.defs[d]] == e.seq {
 				c.regProducer[e.defs[d]] = e.prevProd[d]
 			}
 		}
 		c.ready.clear(slot)
-		c.wake[slot] = c.wake[slot][:0]
+		c.wake[slot].reset()
 		e.uid = 0 // invalidates this entry's heap/wakeup references lazily
 	}
 	c.count = keep + 1

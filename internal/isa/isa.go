@@ -589,6 +589,35 @@ func (in Inst) UsesInto(dst *[4]uint8) int { return depExpand(&opUses[in.Op], in
 // and returns the count. Identical results to Defs, allocation-free.
 func (in Inst) DefsInto(dst *[2]uint8) int { return depExpand(&opDefs[in.Op], in, dst[:]) }
 
+// Meta is the precomputed dispatch metadata of one decoded instruction:
+// everything a timing model's dispatch stage derives from the static
+// encoding (dependency ids, operation class, execute latency, serialization)
+// packed into one cache-line-friendly struct. A predecode line carries one
+// Meta per instruction word (arch.CPU.MetaAt), so the hot dispatch path
+// replaces the Deps switch plus three table lookups with a single indexed
+// load. TestMetaMatchesTables asserts exact equivalence with the canonical
+// accessors over every opcode and register pattern.
+type Meta struct {
+	Uses   [4]uint8
+	Defs   [2]uint8
+	NUses  uint8
+	NDefs  uint8
+	Class  Class
+	Lat    uint8
+	Serial bool
+}
+
+// Fill populates m with in's dispatch metadata, producing exactly what
+// Deps, Class, Latency and Serializing return individually.
+func (in Inst) Fill(m *Meta) {
+	nu, nd := in.Deps(&m.Uses, &m.Defs)
+	m.NUses = uint8(nu)
+	m.NDefs = uint8(nd)
+	m.Class = opClass[in.Op]
+	m.Lat = opLat[in.Op]
+	m.Serial = opSerial[in.Op]
+}
+
 // Deps writes the instruction's source and destination dependency ids and
 // returns both counts: one dispatch-path call replacing Uses+Defs. The
 // grouping mirrors the canonical switches above; TestDepsMatchesUsesDefs

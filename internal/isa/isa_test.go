@@ -250,3 +250,36 @@ func equalIDs(got []uint8, want []uint8) bool {
 	}
 	return true
 }
+
+// TestMetaMatchesTables asserts Fill produces, for every opcode and a grid
+// of register patterns, exactly the dependency lists, class, latency and
+// serializing flag of the canonical Deps/Info paths — the invariance the
+// predecode metadata sidecar (arch's pdWord) relies on.
+func TestMetaMatchesTables(t *testing.T) {
+	regs := []uint8{0, 1, 2, 15, 31}
+	for op := Op(0); op < opCount; op++ {
+		inf := InfoOf(op)
+		for _, rs := range regs {
+			for _, rt := range regs {
+				for _, rd := range regs {
+					in := Inst{Op: op, Rs: rs, Rt: rt, Rd: rd}
+					var m Meta
+					in.Fill(&m)
+
+					var u4 [4]uint8
+					var d2 [2]uint8
+					nu, nd := in.Deps(&u4, &d2)
+					if int(m.NUses) != nu || int(m.NDefs) != nd ||
+						!equalIDs(m.Uses[:m.NUses], u4[:nu]) || !equalIDs(m.Defs[:m.NDefs], d2[:nd]) {
+						t.Fatalf("%v rs=%d rt=%d rd=%d: Meta deps (%v,%v) want (%v,%v)",
+							op, rs, rt, rd, m.Uses[:m.NUses], m.Defs[:m.NDefs], u4[:nu], d2[:nd])
+					}
+					if m.Class != inf.Class || int(m.Lat) != inf.Latency || m.Serial != inf.Serializing {
+						t.Fatalf("%v: Meta class/lat/serial (%v,%d,%v) want (%v,%d,%v)",
+							op, m.Class, m.Lat, m.Serial, inf.Class, inf.Latency, inf.Serializing)
+					}
+				}
+			}
+		}
+	}
+}

@@ -80,6 +80,28 @@ type batchCore interface {
 	InvalidateCode(pa uint32, n int)
 }
 
+// tickBatchCore is implemented by detailed (per-cycle) timing models that
+// can run their stage loop internally for a span of cycles, hoisting the
+// per-cycle machine overhead (interface dispatch, device-event compares,
+// telemetry gate) out of the hot loop and letting the core's own
+// next-event clock skip fire without returning to the machine each cycle.
+// The contract mirrors batchCore: the budget is clamped to the next
+// device/timer/telemetry event, the core must consume at least one cycle
+// per call (unless halted), end the batch after any uncached access so
+// device timing is re-evaluated, and publish the exact current cycle
+// through SyncCycle before any step that can reach MMIO. Unlike
+// batchCore, the core performs full per-instruction attribution itself
+// (AddInst/AddUnits/commit/AddCycles in exactly the per-cycle order), so
+// results are bit-identical to per-cycle ticking.
+type tickBatchCore interface {
+	// TickBatch runs up to budget cycles from cycle start, invoking commit
+	// in program order, and returns the cycles consumed.
+	TickBatch(start, budget uint64, commit func(*arch.StepInfo)) (ran uint64)
+	// TakeSkipped returns and clears the cycles the core's internal
+	// next-event skip elided since the last call (telemetry).
+	TakeSkipped() uint64
+}
+
 // eventCore is implemented by timing models that can report when their
 // next internal event is due, letting the run loop skip the clock over
 // cycles that are guaranteed no-ops (DESIGN.md §11). The skip must be
@@ -198,6 +220,10 @@ type Machine struct {
 	// bc is the core's batch interface when it has one (swift); non-nil
 	// routes Run through the batched loop.
 	bc batchCore
+	// tbc is the core's batch-tick interface when it has one (mipsy, MXS);
+	// non-nil routes Run through runTickBatches unless DebugStep or
+	// DisableSkip demands the per-cycle loop.
+	tbc tickBatchCore
 	// skipped counts cycles elided by the next-event skip (telemetry).
 	skipped uint64
 	// DisableSkip forces per-cycle ticking even on an event-driven core.
@@ -345,7 +371,9 @@ func (m *Machine) pdLimit() uint32 {
 func (m *Machine) newCore() error {
 	switch m.cfg.Core {
 	case CoreMipsy:
-		m.core = mipsy.New(m.cpu, m.hier, m.col)
+		c := mipsy.New(m.cpu, m.hier, m.col)
+		c.BindCycleSync(m)
+		m.core = c
 	case CoreMXS:
 		m.core = mxs.New(m.cpu, m.hier, m.col, m, mxs.DefaultConfig())
 	case CoreMXS1:
@@ -362,6 +390,7 @@ func (m *Machine) newCore() error {
 	}
 	m.evc, _ = m.core.(eventCore)
 	m.bc, _ = m.core.(batchCore)
+	m.tbc, _ = m.core.(tickBatchCore)
 	return nil
 }
 
@@ -380,6 +409,7 @@ func NewWithMXSWindow(cfg Config, w Workload, window int) (*Machine, error) {
 	}
 	m.core = mxs.New(m.cpu, m.hier, m.col, m, c)
 	m.evc, _ = m.core.(eventCore)
+	m.tbc, _ = m.core.(tickBatchCore)
 	m.customCore = true
 	return m, nil
 }
@@ -428,6 +458,10 @@ func (m *Machine) Cycle() uint64 { return m.cycle }
 // (always 0 on cores without an event scheduler or with DisableSkip).
 func (m *Machine) SkippedCycles() uint64 { return m.skipped }
 
+// CoreCounters returns the timing core's counter snapshot (the same values
+// the telemetry publisher reads).
+func (m *Machine) CoreCounters() obs.CoreCounters { return m.core.Counters() }
+
 // Release returns the machine's physical memory and disk image to their
 // allocator pools. Call only once all results have been collected; the
 // machine (and any slice of its RAM or disk image) must not be used
@@ -466,12 +500,15 @@ func (m *Machine) Run(maxCycles uint64) error {
 			m.tele.sim.MachinesActive.Add(-1)
 		}()
 	}
-	if m.bc != nil {
+	switch {
+	case m.bc != nil:
 		if m.DebugStep != nil {
 			return fmt.Errorf("machine: %s core does not support DebugStep", m.cfg.Core)
 		}
 		m.runBatches(limit)
-	} else {
+	case m.useTickBatches():
+		m.runTickBatches(limit)
+	default:
 		m.runCycles(limit)
 	}
 	if !m.halted {
@@ -487,11 +524,22 @@ func (m *Machine) Run(maxCycles uint64) error {
 // stepping primitive, valid on every core kind.
 func (m *Machine) StepCycles(n uint64) {
 	limit := m.cycle + n
-	if m.bc != nil {
+	switch {
+	case m.bc != nil:
 		m.runBatches(limit)
-		return
+	case m.useTickBatches():
+		m.runTickBatches(limit)
+	default:
+		m.runCycles(limit)
 	}
-	m.runCycles(limit)
+}
+
+// useTickBatches reports whether the detailed-core batch loop applies:
+// DebugStep needs per-cycle commits with an accurate m.cycle (and observes
+// the WAIT polls a batch elides), and DisableSkip explicitly requests
+// per-cycle ticking; both fall back to runCycles.
+func (m *Machine) useTickBatches() bool {
+	return m.tbc != nil && m.DebugStep == nil && !m.DisableSkip
 }
 
 // stepDevices fires every device/telemetry event due at the current
@@ -598,6 +646,32 @@ func (m *Machine) runBatches(limit uint64) {
 		m.col.AddCycles(ran)
 		m.col.AddInst(retired)
 		m.Committed += retired
+	}
+}
+
+// runTickBatches is the run loop for detailed cores implementing
+// tickBatchCore: each iteration hands the core a cycle budget bounded by
+// the next device, timer, or telemetry event and lets it run its stage
+// loop (and its own next-event clock skip) without returning to the
+// machine. The core performs the complete per-cycle attribution sequence
+// internally, so the serialized results are bit-identical to runCycles.
+func (m *Machine) runTickBatches(limit uint64) {
+	for !m.halted && m.cycle < limit {
+		m.stepDevices()
+		target := limit
+		for _, ev := range [4]uint64{m.dsk.NextEvent(), m.timerNext, m.obsNext, m.tlNext} {
+			if ev > m.cycle && ev < target {
+				target = ev
+			}
+		}
+		// Latch start: SyncCycle moves m.cycle during the batch.
+		start := m.cycle
+		ran := m.tbc.TickBatch(start, target-start, m.commit)
+		m.cycle = start + ran
+		m.skipped += m.tbc.TakeSkipped()
+		if ran == 0 {
+			break // CPU halted outside the machine's control: stop cleanly
+		}
 	}
 }
 

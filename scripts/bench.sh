@@ -19,11 +19,15 @@
 # run on this host, so it does not need a host-specific tolerance), or if
 # the warm-over-cold FF-cache speedup fell below FFWARM_MIN_SPEEDUP
 # (default 3 — the §14 claim, same-host ratio again), or if the
-# mipsy-eprof row (energy profiler + power timeline on, DESIGN.md §15)
-# runs more than EPROF_MAX_OVERHEAD (default 0.10) slower than plain
-# mipsy, or if plain mipsy — the dormant observability path — slipped more
+# mipsy-eprof or mxs-eprof rows (energy profiler + power timeline on,
+# DESIGN.md §15) run more than EPROF_MAX_OVERHEAD (default 0.10) slower
+# than the matching plain row, or if plain mipsy — the dormant
+# observability path — slipped more
 # than EPROF_DISABLED_TOL (default 0.02) past the committed baseline.
-# BENCHTIME controls -benchtime (default 5x).
+# BENCHTIME controls -benchtime (default 5x). BENCH_CPUPROFILE, when set,
+# captures a CPU profile of the throughput benchmark at that path (plus a
+# softwatt.test binary next to it for symbolizing) so a regression caught
+# by the gate comes with the profile that explains it.
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
@@ -38,7 +42,13 @@ trap 'rm -f "$raw" "$sraw" "$wraw"' EXIT
 rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
-go test -run '^$' -bench 'BenchmarkSimulatorThroughput' -benchtime "${BENCHTIME:-5x}" . | tee "$raw"
+profargs=()
+if [ -n "${BENCH_CPUPROFILE:-}" ]; then
+	# -cpuprofile leaves the test binary behind for `go tool pprof`; keep
+	# it next to the profile instead of littering the repo root.
+	profargs=(-cpuprofile "$BENCH_CPUPROFILE" -o "${BENCH_CPUPROFILE%.pprof}.test")
+fi
+go test -run '^$' -bench 'BenchmarkSimulatorThroughput' -benchtime "${BENCHTIME:-5x}" "${profargs[@]}" . | tee "$raw"
 go test -run '^$' -bench 'BenchmarkSampledSpeedup$' -benchtime 1x . | tee "$sraw"
 go test -run '^$' -bench 'BenchmarkSampledWarmFF' -benchtime 1x . | tee "$wraw"
 
@@ -136,21 +146,23 @@ awk -v s="$warmspeed" -v min="$min_warm" 'BEGIN {
 # committed floor (EPROF_DISABLED_TOL, default 0.02, checked here against
 # the committed mipsy row when a baseline exists).
 eprof_max="${EPROF_MAX_OVERHEAD:-0.10}"
-awk -v max="$eprof_max" '
-/"mipsy":/       { for (i = 1; i <= NF; i++) if ($i ~ /"ns_per_op":$/) { v = $(i+1); gsub(/,/, "", v); plain = v + 0 } }
-/"mipsy-eprof":/ { for (i = 1; i <= NF; i++) if ($i ~ /"ns_per_op":$/) { v = $(i+1); gsub(/,/, "", v); eprof = v + 0 } }
-END {
-	if (plain == 0 || eprof == 0) {
-		print "bench: missing mipsy/mipsy-eprof rows for the overhead gate"
-		exit 1
-	}
-	over = eprof / plain - 1
-	printf "bench: eprof+timeline overhead %.1f%% on mipsy (ceiling %.0f%%)\n", over * 100, max * 100
-	if (over > max + 0) {
-		printf "bench: REGRESSION: observability overhead exceeds the %.0f%% ceiling\n", max * 100
-		exit 1
-	}
-}' "$out"
+for ecore in mipsy mxs; do
+	awk -v max="$eprof_max" -v core="$ecore" '
+	$0 ~ "\"" core "\":"          { for (i = 1; i <= NF; i++) if ($i ~ /"ns_per_op":$/) { v = $(i+1); gsub(/,/, "", v); plain = v + 0 } }
+	$0 ~ "\"" core "-eprof\":"    { for (i = 1; i <= NF; i++) if ($i ~ /"ns_per_op":$/) { v = $(i+1); gsub(/,/, "", v); eprof = v + 0 } }
+	END {
+		if (plain == 0 || eprof == 0) {
+			printf "bench: missing %s/%s-eprof rows for the overhead gate\n", core, core
+			exit 1
+		}
+		over = eprof / plain - 1
+		printf "bench: eprof+timeline overhead %.1f%% on %s (ceiling %.0f%%)\n", over * 100, core, max * 100
+		if (over > max + 0) {
+			printf "bench: REGRESSION: %s observability overhead exceeds the %.0f%% ceiling\n", core, max * 100
+			exit 1
+		}
+	}' "$out"
+done
 
 if git show HEAD:BENCH_softwatt.json > /dev/null 2>&1; then
 	dis_tol="${EPROF_DISABLED_TOL:-0.02}"
@@ -199,11 +211,12 @@ if git show HEAD:BENCH_softwatt.json > BENCH_baseline.json 2>/dev/null; then
 				continue
 			}
 			floor = base[core] * (1 - tol)
-			printf "bench: %-6s %8.3f Mcycles/s (baseline %.3f, floor %.3f)\n", \
-				core, fresh[core], base[core], floor
+			delta = (fresh[core] / base[core] - 1) * 100
+			printf "bench: %-11s %8.3f Mcycles/s (baseline %.3f, %+.1f%%, floor %.3f)\n", \
+				core, fresh[core], base[core], delta, floor
 			if (fresh[core] < floor) {
-				printf "bench: REGRESSION: %s is >%.0f%% below the committed baseline\n", \
-					core, tol * 100
+				printf "bench: REGRESSION: %s is %.1f%% below the committed baseline (tolerance %.0f%%)\n", \
+					core, -delta, tol * 100
 				bad = 1
 			}
 		}
